@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's evaluation (DESIGN.md §4 maps each
+// to its figure/headline). They are sized to finish in seconds per
+// iteration; cmd/thinair-bench runs the full-size versions.
+//
+// Reported custom metrics use the paper's vocabulary:
+//
+//	eff_*   efficiency (secret bits / transmitted bits)
+//	rel_*   reliability (Eve guesses a secret bit w.p. 2^-rel)
+//	kbps_*  secret rate at the paper's 1 Mbps channel
+package thinair
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/radio"
+)
+
+// BenchmarkFigure1 computes the analytic efficiency curves of Figure 1
+// (group vs unicast for n = 2, 3, 6, 10, ∞).
+func BenchmarkFigure1(b *testing.B) {
+	var curves []figures.Fig1Curve
+	for i := 0; i < b.N; i++ {
+		curves = figures.Figure1([]int{2, 3, 6, 10, 0}, 100)
+	}
+	at := func(n int, p float64) (float64, float64) {
+		for _, c := range curves {
+			if c.N == n {
+				for _, pt := range c.Points {
+					if math.Abs(pt.P-p) < 1e-9 {
+						return pt.Group, pt.Unicast
+					}
+				}
+			}
+		}
+		return math.NaN(), math.NaN()
+	}
+	g2, u2 := at(2, 0.5)
+	g10, u10 := at(10, 0.5)
+	b.ReportMetric(g2, "eff_group_n2_p05")
+	b.ReportMetric(u2, "eff_unicast_n2_p05")
+	b.ReportMetric(g10, "eff_group_n10_p05")
+	b.ReportMetric(u10, "eff_unicast_n10_p05")
+	b.ReportMetric(analytic.GroupEfficiencyInf(0.5), "eff_group_inf_p05")
+}
+
+// BenchmarkFigure1MonteCarlo cross-validates the Figure-1 analysis against
+// the actual protocol with oracle estimates on a symmetric channel.
+func BenchmarkFigure1MonteCarlo(b *testing.B) {
+	var pts []figures.Fig1MCPoint
+	for i := 0; i < b.N; i++ {
+		pts = figures.Figure1MonteCarlo([]int{2, 6}, []float64{0.5}, 150, 4, int64(200+i))
+	}
+	for _, pt := range pts {
+		if pt.N == 2 {
+			b.ReportMetric(pt.Measured/pt.Analytic, "ratio_mc_n2_p05")
+		}
+		if pt.N == 6 {
+			b.ReportMetric(pt.Measured/pt.Analytic, "ratio_mc_n6_p05")
+		}
+	}
+}
+
+// BenchmarkFigure2 runs a subsampled testbed reliability sweep
+// (n = 3..8, the paper's Figure 2).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := figures.Figure2(figures.Fig2Options{
+			Ns: []int{3, 6, 8}, XPerRound: 90, Rounds: 3,
+			MaxPlacements: 18, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range out {
+				switch r.N {
+				case 3:
+					b.ReportMetric(r.Reliability.Min, "rel_min_n3")
+					b.ReportMetric(r.Reliability.P50, "rel_p50_n3")
+				case 6:
+					b.ReportMetric(r.Reliability.Min, "rel_min_n6")
+					b.ReportMetric(r.Reliability.P50, "rel_p50_n6")
+				case 8:
+					b.ReportMetric(r.Reliability.Min, "rel_min_n8")
+					b.ReportMetric(r.Reliability.P50, "rel_p50_n8")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkHeadlineEfficiency reproduces the n = 8 headline: minimum
+// efficiency (paper: 0.038) and the secret rate at 1 Mbps (paper: 38 kbps)
+// over the full 9-placement set.
+func BenchmarkHeadlineEfficiency(b *testing.B) {
+	var h *figures.HeadlineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, err = figures.Headline(figures.Fig2Options{XPerRound: 90, Rounds: 3, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(h.MinEfficiency, "eff_min_n8")
+	b.ReportMetric(h.MinKbps, "kbps_min_n8")
+	b.ReportMetric(h.MinReliability, "rel_min_n8")
+}
+
+// BenchmarkRotationWorstCase measures §3.2's worst case (Eve overhears a
+// superset of some terminal's packets) with and without leader rotation.
+func BenchmarkRotationWorstCase(b *testing.B) {
+	var with, without *figures.RotationResult
+	for i := 0; i < b.N; i++ {
+		opt := figures.Fig2Options{XPerRound: 90, Rounds: 3, MaxPlacements: 18, Seed: 11}
+		var err error
+		with, err = figures.RotationCheck(4, true, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err = figures.RotationCheck(4, false, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(with.RoundsEveCovered)/float64(with.RoundsTotal), "covered_frac_rotation")
+	b.ReportMetric(float64(without.RoundsEveCovered)/float64(without.RoundsTotal), "covered_frac_static")
+	b.ReportMetric(with.SessionRisk, "session_risk_rotation")
+	b.ReportMetric(without.SessionRisk, "session_risk_static")
+}
+
+func reportAblation(b *testing.B, rows []figures.AblationRow) {
+	b.Helper()
+	for _, r := range rows {
+		b.ReportMetric(r.MeanEff, "eff_"+r.Name)
+		if !math.IsNaN(r.MinReliab) {
+			b.ReportMetric(r.MinReliab, "relmin_"+r.Name)
+		}
+	}
+}
+
+// BenchmarkAblationEstimators compares Oracle, FixedDelta, LeaveOneOut
+// (global and conditional) and KSubset on the testbed.
+func BenchmarkAblationEstimators(b *testing.B) {
+	var rows []figures.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.AblationEstimators(5, figures.Fig2Options{
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationAllocation compares pooling policies and the unicast
+// baseline.
+func BenchmarkAblationAllocation(b *testing.B) {
+	var rows []figures.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.AblationAllocation(5, figures.Fig2Options{
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationInterference compares jamming on vs off.
+func BenchmarkAblationInterference(b *testing.B) {
+	var rows []figures.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.AblationInterference(5, figures.Fig2Options{
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationRotation compares leader rotation on vs off.
+func BenchmarkAblationRotation(b *testing.B) {
+	var rows []figures.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.AblationRotation(5, figures.Fig2Options{
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkProtocolRound measures raw engine throughput: secret bytes
+// generated per second of compute on a friendly symmetric channel.
+func BenchmarkProtocolRound(b *testing.B) {
+	var secretBytes int64
+	for i := 0; i < b.N; i++ {
+		med := radio.NewMedium(radio.Uniform{P: 0.5}, 5, int64(i))
+		res, err := core.RunSession(core.Config{
+			Terminals: 4, XPerRound: 90, PayloadBytes: 100,
+			Estimator: core.Oracle{}, Seed: int64(i),
+		}, med, []radio.NodeID{4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		secretBytes += int64(len(res.Secret))
+	}
+	b.SetBytes(secretBytes / int64(b.N))
+	b.ReportMetric(float64(secretBytes)/float64(b.N), "secret_B/op")
+}
+
+// BenchmarkAblationSelfJam compares dedicated interferers, terminal
+// self-jamming (§3.3's suggestion) and no interference.
+func BenchmarkAblationSelfJam(b *testing.B) {
+	var rows []figures.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.AblationSelfJam(5, figures.Fig2Options{
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationBurstiness stresses the independence assumption behind
+// the binomial budgets: same stationary loss, increasing burst lengths.
+func BenchmarkAblationBurstiness(b *testing.B) {
+	var rows []figures.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.AblationBurstiness(5, 20, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationCancellingEve reproduces the §6 threat analysis: an
+// interference-cancelling Eve against the leave-one-out estimator, and the
+// k-subset defense against her.
+func BenchmarkAblationCancellingEve(b *testing.B) {
+	var rows []figures.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.AblationCancellingEve(5, figures.Fig2Options{
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}

@@ -1,0 +1,92 @@
+// Command thinair-calibrate documents the channel-parameter sensitivity
+// behind the testbed defaults (DESIGN.md §5, EXPERIMENTS.md calibration
+// notes): it sweeps the jamming strength and the base loss and reports how
+// efficiency and reliability respond, for a fixed group size over a
+// subsampled placement set.
+//
+// Usage: thinair-calibrate [-n 5] [-placements 18] [-seed 11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 5, "group size")
+		placements = flag.Int("placements", 18, "placements per configuration")
+		seed       = flag.Int64("seed", 11, "seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("calibration sweep: n=%d, %d placements per cell, LOO estimator\n\n", *n, *placements)
+
+	fmt.Println("A) jamming strength (base loss fixed at default)")
+	fmt.Printf("%12s %10s %10s %10s %10s\n", "jamPErase", "meanEff", "relMin", "relAvg", "eveMiss")
+	for _, jam := range []float64{0, 0.25, 0.5, 0.7, 0.85, 0.95} {
+		ch := testbed.DefaultChannel()
+		ch.JamPErase = jam
+		report(*n, *placements, *seed, ch, jam)
+	}
+
+	fmt.Println("\nB) base channel loss (jamming fixed at default)")
+	fmt.Printf("%12s %10s %10s %10s %10s\n", "base", "meanEff", "relMin", "relAvg", "eveMiss")
+	for _, base := range []float64{0.0, 0.05, 0.1, 0.2, 0.3} {
+		ch := testbed.DefaultChannel()
+		ch.Base = base
+		report(*n, *placements, *seed, ch, base)
+	}
+}
+
+func report(n, maxPlacements int, seed int64, ch testbed.Channel, label float64) {
+	all := testbed.EnumeratePlacements(n)
+	stride := 1
+	if maxPlacements > 0 && len(all) > maxPlacements {
+		stride = (len(all) + maxPlacements - 1) / maxPlacements
+	}
+	var effSum, relSum, missSum float64
+	relMin := math.Inf(1)
+	count, relCount := 0, 0
+	for i := 0; i < len(all); i += stride {
+		ex := &testbed.Experiment{
+			Placement: all[i],
+			Channel:   ch,
+			Protocol: core.Config{
+				Terminals: n, XPerRound: 90, PayloadBytes: 100,
+				Rounds: 2, Rotate: true, Seed: seed + int64(i)*7919,
+			},
+			Seed: seed + int64(i)*104729 + 1,
+		}
+		res, err := ex.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thinair-calibrate:", err)
+			os.Exit(1)
+		}
+		count++
+		effSum += res.Efficiency
+		for _, ri := range res.Rounds {
+			missSum += ri.EveMissRate / float64(len(res.Rounds))
+		}
+		if !math.IsNaN(res.Reliability) {
+			relCount++
+			relSum += res.Reliability
+			if res.Reliability < relMin {
+				relMin = res.Reliability
+			}
+		}
+	}
+	relAvg := math.NaN()
+	if relCount > 0 {
+		relAvg = relSum / float64(relCount)
+	} else {
+		relMin = math.NaN()
+	}
+	fmt.Printf("%12.2f %10.4f %10.3f %10.3f %10.3f\n",
+		label, effSum/float64(count), relMin, relAvg, missSum/float64(count))
+}

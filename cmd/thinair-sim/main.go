@@ -1,0 +1,156 @@
+// Command thinair-sim runs a single protocol experiment and prints its
+// metrics: either on a symmetric erasure channel (-erasure) or on the
+// paper's 3×3-cell testbed with rotating interference (-cells).
+//
+// Examples:
+//
+//	thinair-sim -n 3 -erasure 0.4 -rounds 2
+//	thinair-sim -n 4 -cells 0,2,6,8 -eve 4 -estimator loo
+//	thinair-sim -n 3 -erasure 0.5 -estimator oracle -antennas 2
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+
+	thinair "repro"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 3, "number of terminals")
+		erasure   = flag.Float64("erasure", -1, "symmetric per-link erasure probability (mutually exclusive with -cells)")
+		cells     = flag.String("cells", "", "comma-separated terminal cells (0..8) on the testbed grid")
+		eveCell   = flag.Int("eve", 4, "Eve's cell when using -cells")
+		rounds    = flag.Int("rounds", 3, "protocol rounds")
+		xPerRound = flag.Int("x", 90, "x-packets per round")
+		payload   = flag.Int("payload", 100, "payload bytes per packet (even)")
+		estimator = flag.String("estimator", "loo", "estimator: loo, oracle, fixed:<delta>, ksubset:<k>")
+		rotate    = flag.Bool("rotate", true, "rotate the leader role")
+		antennas  = flag.Int("antennas", 1, "Eve antennas (symmetric channel only)")
+		seed      = flag.Int64("seed", 1, "seed")
+		traceOut  = flag.String("trace", "", "emit a structured round trace: 'text' or 'json'")
+	)
+	flag.Parse()
+
+	est, err := parseEstimator(*estimator)
+	fatal(err)
+
+	var log *trace.Log
+	if *traceOut != "" {
+		log = trace.NewLog()
+	}
+
+	var res *thinair.SessionResult
+	switch {
+	case *cells != "":
+		tc, err := parseCells(*cells)
+		fatal(err)
+		if len(tc) != *n {
+			fatal(fmt.Errorf("-cells lists %d cells but -n is %d", len(tc), *n))
+		}
+		res, err = thinair.RunExperiment(&thinair.Experiment{
+			Placement: thinair.Placement{EveCell: thinair.Cell(*eveCell), TerminalCells: tc},
+			Channel:   thinair.DefaultChannel(),
+			Protocol: thinair.Config{
+				XPerRound: *xPerRound, PayloadBytes: *payload,
+				Rounds: *rounds, Rotate: *rotate, Estimator: est, Seed: *seed,
+				Tracer: tracerOrNil(log),
+			},
+			Seed: *seed + 1,
+		})
+		fatal(err)
+	case *erasure >= 0:
+		res, err = thinair.Simulate(thinair.SimOptions{
+			Terminals: *n, Erasure: *erasure, XPerRound: *xPerRound,
+			PayloadBytes: *payload, Rounds: *rounds, Rotate: *rotate,
+			Estimator: est, EveAntennas: *antennas, Seed: *seed,
+			Tracer: tracerOrNil(log),
+		})
+		fatal(err)
+	default:
+		fatal(fmt.Errorf("specify either -erasure or -cells"))
+	}
+
+	fmt.Printf("terminals:        %d\n", *n)
+	fmt.Printf("rounds:           %d\n", len(res.Rounds))
+	digest := sha256.Sum256(res.Secret)
+	fmt.Printf("secret bytes:     %d (sha256 %x…)\n", len(res.Secret), digest[:8])
+	fmt.Printf("secret packets:   %d (Eve knows nothing about %d)\n", res.SecretDims, res.UnknownDims)
+	fmt.Printf("bits transmitted: %d\n", res.BitsTransmitted)
+	fmt.Printf("efficiency:       %.4f  (%.1f secret kbps at 1 Mbps; %.1f kbps by 802.11 airtime)\n",
+		res.Efficiency, res.SecretKbpsAt(testbed.ChannelBitsPerSec), res.SecretKbpsAirtime())
+	fmt.Printf("channel airtime:  %v\n", res.Airtime)
+	fmt.Printf("reliability:      %.3f  (Eve guesses a secret bit w.p. %.3f)\n", res.Reliability, core.GuessProbability(res.Reliability))
+	fmt.Printf("all agreed:       %v\n", res.AllAgreed)
+	for _, ri := range res.Rounds {
+		fmt.Printf("  round %d: leader=%d pools=%d M=%d L=%d eveMiss=%.2f unknown=%d\n",
+			ri.Round, ri.Leader, ri.NumClasses, ri.M, ri.L, ri.EveMissRate, ri.UnknownDims)
+	}
+	if log != nil {
+		fmt.Println("\ntrace:")
+		switch *traceOut {
+		case "json":
+			fatal(log.WriteJSON(os.Stdout))
+		default:
+			fatal(log.WriteText(os.Stdout))
+		}
+	}
+}
+
+// tracerOrNil avoids storing a typed nil in the Tracer interface field.
+func tracerOrNil(log *trace.Log) trace.Tracer {
+	if log == nil {
+		return nil
+	}
+	return log
+}
+
+func parseEstimator(s string) (core.Estimator, error) {
+	switch {
+	case s == "loo":
+		return core.LeaveOneOut{}, nil
+	case s == "oracle":
+		return core.Oracle{}, nil
+	case strings.HasPrefix(s, "fixed:"):
+		d, err := strconv.ParseFloat(strings.TrimPrefix(s, "fixed:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fixed delta: %w", err)
+		}
+		return core.FixedDelta{Delta: d}, nil
+	case strings.HasPrefix(s, "ksubset:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "ksubset:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad k: %w", err)
+		}
+		return core.KSubset{K: k}, nil
+	}
+	return nil, fmt.Errorf("unknown estimator %q", s)
+}
+
+func parseCells(s string) ([]thinair.Cell, error) {
+	var out []thinair.Cell
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad cell %q: %w", part, err)
+		}
+		out = append(out, thinair.Cell(v))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thinair-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Groupstream: the paper's motivating application — a group of wireless
+// users consuming content together. Five terminals on the simulated
+// testbed continuously generate group secrets into a key pool, and use
+// never-reused one-time pads from the pool to encrypt a content stream;
+// the eavesdropper overhears the ciphertext and all protocol traffic yet
+// reconstructs nothing.
+//
+// This mirrors the QKD use case the paper cites: "periodic generation of
+// one-time pads at a high enough rate to enable information-theoretically
+// secure transmission of real-time video".
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	thinair "repro"
+)
+
+func main() {
+	// A 3x3-cell room: Eve in the middle, the group around her.
+	placement := thinair.Placement{
+		EveCell:       4,
+		TerminalCells: []thinair.Cell{0, 2, 6, 8, 1},
+	}
+
+	// The key pool refills itself by running protocol sessions whenever
+	// it drops below the watermark. Every group member would run the same
+	// deterministic schedule, so their pools stay byte-identical.
+	session := 0
+	pool := thinair.NewKeyPoolWithRefill(func() ([]byte, error) {
+		res, err := thinair.RunExperiment(&thinair.Experiment{
+			Placement: placement,
+			Channel:   thinair.DefaultChannel(),
+			Protocol: thinair.Config{
+				XPerRound: 90, Rounds: 3, Rotate: true,
+				Seed: int64(9000 + session),
+			},
+			Seed: int64(100 + session),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("  [key session %d] +%d secret bytes, efficiency %.4f, reliability %.3f, airtime %v\n",
+			session, len(res.Secret), res.Efficiency, res.Reliability, res.Airtime)
+		session++
+		return res.Secret, nil
+	}, 256)
+
+	content := [][]byte{
+		[]byte("frame-000: the quick brown fox jumps over the lazy dog"),
+		[]byte("frame-001: information-theoretic security needs no RSA"),
+		[]byte("frame-002: refresh the pad, stream on"),
+	}
+
+	fmt.Println("streaming 3 content frames under one-time pads from thin air")
+	fmt.Println()
+	for _, frame := range content {
+		pad, ct, err := pool.DrawPad(frame) // any member encrypts…
+		if err != nil {
+			log.Fatal(err)
+		}
+		pt := make([]byte, len(ct))
+		for i := range ct { // …every other member decrypts with the same pad
+			pt[i] = ct[i] ^ pad[i]
+		}
+		if !bytes.Equal(pt, frame) {
+			log.Fatal("decryption mismatch")
+		}
+		fmt.Printf("frame sent:   %q\n", frame)
+		fmt.Printf("on the air:   %x…\n", ct[:24])
+		fmt.Printf("group reads:  %q\n\n", pt)
+	}
+	dep, drawn := pool.Stats()
+	fmt.Printf("pool: %d bytes banked, %d consumed, %d ready for the next frames\n",
+		dep, drawn, pool.Available())
+}

@@ -1,0 +1,70 @@
+// Multiantenna: the paper's §6 challenge — an adversary with multiple
+// antennas overhears more. This example measures how the secret rate
+// degrades as Eve adds antennas, and how the k-subset estimator (§3.3:
+// "pretend that each set of k terminals together are Eve") restores safety
+// at the cost of rate.
+//
+// Two comparisons on the same symmetric channel:
+//
+//  1. Oracle budgets (exact knowledge of Eve's misses): the secret shrinks
+//     with each antenna but remains perfectly hidden — the "non-zero
+//     secret bitrate" hope of §4.
+//  2. Practical estimators: LeaveOneOut (designed for a 1-antenna Eve)
+//     against a 2-antenna Eve leaks, while KSubset{K:2} holds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	thinair "repro"
+)
+
+func run(opt thinair.SimOptions) *thinair.SessionResult {
+	res, err := thinair.Simulate(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	base := thinair.SimOptions{
+		Terminals: 6,
+		Erasure:   0.5,
+		XPerRound: 200,
+		Rounds:    3,
+		Rotate:    true,
+		Seed:      31337,
+	}
+
+	fmt.Println("1) oracle budgets: the secret shrinks but never leaks")
+	fmt.Printf("%10s %14s %12s %12s\n", "antennas", "secret bytes", "efficiency", "reliability")
+	for k := 1; k <= 3; k++ {
+		opt := base
+		opt.Estimator = thinair.Oracle{}
+		opt.EveAntennas = k
+		res := run(opt)
+		fmt.Printf("%10d %14d %12.4f %12.3f\n", k, len(res.Secret), res.Efficiency, res.Reliability)
+	}
+
+	fmt.Println()
+	fmt.Println("2) practical estimators against a 2-antenna Eve")
+	fmt.Printf("%-22s %14s %12s %12s\n", "estimator", "secret bytes", "efficiency", "reliability")
+	for _, tc := range []struct {
+		name string
+		est  thinair.Estimator
+	}{
+		{"leave-one-out (k=1)", thinair.LeaveOneOut{}},
+		{"k-subset (k=2)", thinair.KSubset{K: 2}},
+	} {
+		opt := base
+		opt.Estimator = tc.est
+		opt.EveAntennas = 2
+		res := run(opt)
+		fmt.Printf("%-22s %14d %12.4f %12.3f\n", tc.name, len(res.Secret), res.Efficiency, res.Reliability)
+	}
+	fmt.Println()
+	fmt.Println("interpretation: reliability 1.000 = every secret bit is a coin flip to Eve;")
+	fmt.Println("lower values mean the estimator under-counted what a multi-antenna Eve hears.")
+}

@@ -1,0 +1,71 @@
+// Pairrefresh: the paper's introduction scenario — Alice and Bob
+// continuously refresh the key protecting their link, so that "there would
+// be no public/private RSA key pair or master key (as in WPA) that, if
+// stolen or accidentally revealed, would enable an adversary to
+// reconstruct Alice's and Bob's shared secrets".
+//
+// The two nodes run the concurrent runtime over an in-process broadcast
+// bus with ACTIVE-adversary protection: every control frame carries an
+// HMAC under a key chain bootstrapped out of band and ratcheted with each
+// fresh secret. The demo then shows the forward-security property: an
+// attacker who steals the bootstrap after the fact still cannot forge
+// post-ratchet traffic.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/transport"
+
+	thinair "repro"
+)
+
+func main() {
+	const bootstrap = "out-of-band pairing code 4711"
+
+	alice := thinair.NewKeyChain([]byte(bootstrap))
+	bob := thinair.NewKeyChain([]byte(bootstrap))
+
+	fmt.Println("Alice & Bob: continuous session-key refresh out of thin air")
+	fmt.Println()
+
+	for epoch := 0; epoch < 3; epoch++ {
+		bus := thinair.NewChanBus(0.45, int64(50+epoch))
+		cfg := transport.NodeConfig{
+			Config: thinair.Config{
+				Terminals: 2, XPerRound: 120, PayloadBytes: 100,
+				Rounds: 2, Rotate: true, Seed: int64(7000 + epoch),
+			},
+			Session: uint32(epoch + 1),
+			Timeout: 10 * time.Second,
+		}
+		results, err := transport.RunGroup(context.Background(), bus, cfg,
+			[]*auth.KeyChain{alice, bob})
+		bus.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Both sides export the link key for this epoch from their chain
+		// state; the chains ratcheted with the fresh secret inside RunGroup.
+		ka := alice.Export("link-key", 16)
+		kb := bob.Export("link-key", 16)
+		fmt.Printf("epoch %d: %4d fresh secret bytes; chain epoch %d; link key %x (match: %v)\n",
+			epoch, len(results[0].Secret), alice.Epoch(), ka, string(ka) == string(kb))
+	}
+
+	// The attacker stole the bootstrap — but missed the on-air secrets.
+	fmt.Println()
+	mallory := thinair.NewKeyChain([]byte(bootstrap))
+	forged := mallory.Seal([]byte("AUTHENTIC message from Bob, honest!"))
+	if _, err := alice.Open(forged); err != nil {
+		fmt.Printf("attacker with the stolen bootstrap (epoch 0) forges a frame: REJECTED (%v)\n", err)
+	} else {
+		log.Fatal("forgery accepted — forward security broken")
+	}
+	fmt.Println("the refreshed secrets do not depend on the bootstrap: pairing code theft is harmless after one round")
+}

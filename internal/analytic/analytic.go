@@ -1,0 +1,142 @@
+// Package analytic computes the idealized efficiency curves of the paper's
+// Figure 1: the maximum efficiency of the group algorithm (continuous
+// lines) and of the unicast baseline (dashed lines) as a function of the
+// packet erasure probability, for group sizes n = 2, 3, 6, 10, ..., ∞.
+//
+// The model matches the figure's stated assumptions: the leader guesses
+// exactly how many x-packets shared with each terminal Eve missed (oracle
+// estimates), and every channel — terminal or Eve — has the same erasure
+// probability p. Everything is normalized per transmitted x-packet
+// (fluid limit N → ∞), and only packet payloads count (no control
+// overhead), which is how a "maximum efficiency" analysis is defined.
+//
+// Derivation. Erasures are independent, so an x-packet is received by a
+// subset S of the n-1 non-leader terminals with probability
+// (1-p)^|S| p^(n-1-|S|), and Eve misses it with probability p. The exact
+// reception classes of size k = |S| therefore hold fluid mass
+// b_k = C(n-1, k) (1-p)^k p^(n-1-k) per transmitted packet, of which the
+// fraction p is usable secrecy budget (Eve-missed). Spending the budget of
+// all classes of size >= kappa yields, per transmitted x-packet,
+//
+//	M(kappa) = sum_{k>=kappa} p·b_k            (y-packets)
+//	L(kappa) = sum_{k>=kappa} p·b_k·k/(n-1)    (per-terminal coverage)
+//
+// and the protocol transmits 1 x-packet plus M-L z-packet payloads, so
+//
+//	eff(kappa) = L / (1 + M - L).
+//
+// Classes below the cutoff may hurt: a class of size k contributes
+// k/(n-1) to L per unit of M, so its marginal benefit/cost ratio falls
+// with k; GroupEfficiency maximizes over the cutoff. Using every class
+// (kappa = 1) gives the closed form p(1-p) / (1 + p² - p^n), which
+// interpolates between p(1-p) at n = 2 (the wiretap-II pairwise rate) and
+// p(1-p)/(1+p²) as n → ∞.
+//
+// The unicast baseline spends the same Phase 1 and then one OTP-encrypted
+// unicast of the L-packet group key per terminal:
+// eff = L / (1 + (n-1)·L) with L = p(1-p), which vanishes as n grows —
+// the paper's motivation for Phase 2.
+package analytic
+
+import "math"
+
+// GroupEfficiency returns the maximum efficiency of the group algorithm
+// for n >= 2 terminals at erasure probability p in [0, 1].
+func GroupEfficiency(n int, p float64) float64 {
+	if n < 2 {
+		panic("analytic: need n >= 2")
+	}
+	checkP(p)
+	if p == 0 || p == 1 {
+		return 0
+	}
+	best := 0.0
+	for kappa := 1; kappa <= n-1; kappa++ {
+		var m, l float64
+		for k := kappa; k <= n-1; k++ {
+			bk := binomPMF(n-1, k, 1-p)
+			m += p * bk
+			l += p * bk * float64(k) / float64(n-1)
+		}
+		if eff := l / (1 + m - l); eff > best {
+			best = eff
+		}
+	}
+	return best
+}
+
+// GroupEfficiencyAllClasses returns the closed-form efficiency of the
+// group algorithm when every reception class is used (cutoff 1):
+// p(1-p) / (1 + p² - p^n). This is what a protocol that never discards
+// budget achieves, and what the Monte-Carlo oracle runs are compared to.
+func GroupEfficiencyAllClasses(n int, p float64) float64 {
+	if n < 2 {
+		panic("analytic: need n >= 2")
+	}
+	checkP(p)
+	if p == 0 || p == 1 {
+		return 0
+	}
+	return p * (1 - p) / (1 + p*p - math.Pow(p, float64(n)))
+}
+
+// GroupEfficiencyInf returns the n -> ∞ limit p(1-p)/(1+p²); its maximum
+// is ~0.207 at p = sqrt(2)-1.
+func GroupEfficiencyInf(p float64) float64 {
+	checkP(p)
+	return p * (1 - p) / (1 + p*p)
+}
+
+// UnicastEfficiency returns the unicast baseline's efficiency:
+// L/(1+(n-1)L) with L = p(1-p). The leader makes n-1 separate unicast
+// transmissions of the group key, which is exactly the scaling failure
+// Figure 1 demonstrates.
+func UnicastEfficiency(n int, p float64) float64 {
+	if n < 2 {
+		panic("analytic: need n >= 2")
+	}
+	checkP(p)
+	l := p * (1 - p)
+	return l / (1 + float64(n-1)*l)
+}
+
+// UnicastEfficiencyInf is the n -> ∞ limit of the unicast baseline: 0.
+func UnicastEfficiencyInf(p float64) float64 {
+	checkP(p)
+	return 0
+}
+
+func checkP(p float64) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("analytic: erasure probability outside [0,1]")
+	}
+}
+
+// binomPMF returns C(n, k) q^k (1-q)^(n-k), computed in log space so large
+// n cannot overflow the binomial coefficient.
+func binomPMF(n, k int, q float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if q == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if q == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lchoose(n, k) + float64(k)*math.Log(q) + float64(n-k)*math.Log(1-q)
+	return math.Exp(lg)
+}
+
+func lchoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}

@@ -1,0 +1,169 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGroupEfficiencyPairwiseCase(t *testing.T) {
+	// n=2 reduces to the wiretap-II pairwise rate p(1-p), peak 0.25 at 0.5.
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		want := p * (1 - p)
+		if got := GroupEfficiency(2, p); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("n=2 p=%v: %v, want %v", p, got, want)
+		}
+	}
+	if got := GroupEfficiency(2, 0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("peak = %v", got)
+	}
+}
+
+func TestGroupEfficiencyBoundaries(t *testing.T) {
+	for _, n := range []int{2, 3, 6, 10} {
+		if GroupEfficiency(n, 0) != 0 || GroupEfficiency(n, 1) != 0 {
+			t.Fatalf("n=%d: nonzero efficiency at p boundary", n)
+		}
+	}
+	if GroupEfficiencyInf(0) != 0 || GroupEfficiencyInf(1) != 0 {
+		t.Fatal("inf boundary")
+	}
+}
+
+func TestGroupEfficiencyDecreasesWithN(t *testing.T) {
+	// Figure 1's ordering: n=2 on top, then 3, 6, 10, with the infinite
+	// limit below all finite curves.
+	for _, p := range []float64{0.2, 0.4, 0.5, 0.6, 0.8} {
+		prev := math.Inf(1)
+		for _, n := range []int{2, 3, 6, 10, 40} {
+			e := GroupEfficiency(n, p)
+			if e > prev+1e-12 {
+				t.Fatalf("p=%v: efficiency increased from n-1 to n=%d (%v > %v)", p, n, e, prev)
+			}
+			prev = e
+		}
+		if inf := GroupEfficiencyInf(p); inf > prev+1e-9 {
+			t.Fatalf("p=%v: infinite-n limit %v above n=40 %v", p, inf, prev)
+		}
+	}
+}
+
+func TestGroupEfficiencyStaysBoundedAwayFromZero(t *testing.T) {
+	// The paper's headline contrast: the group algorithm's efficiency does
+	// NOT vanish as n grows (at p=0.5 the limit is 0.2).
+	if got := GroupEfficiencyInf(0.5); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("inf limit at 0.5 = %v, want 0.2", got)
+	}
+	// Peak location sqrt(2)-1.
+	pStar := math.Sqrt2 - 1
+	peak := GroupEfficiencyInf(pStar)
+	for _, p := range []float64{0.3, 0.45, 0.5} {
+		if GroupEfficiencyInf(p) > peak+1e-12 {
+			t.Fatalf("inf peak not at sqrt(2)-1: f(%v)=%v > %v", p, GroupEfficiencyInf(p), peak)
+		}
+	}
+}
+
+func TestGroupAllClassesClosedFormMatchesSum(t *testing.T) {
+	// The closed form p(1-p)/(1+p^2-p^n) must equal the cutoff-1 sum.
+	for _, n := range []int{2, 3, 6, 10, 17} {
+		for _, p := range []float64{0.1, 0.35, 0.5, 0.77} {
+			var m, l float64
+			for k := 1; k <= n-1; k++ {
+				bk := binomPMF(n-1, k, 1-p)
+				m += p * bk
+				l += p * bk * float64(k) / float64(n-1)
+			}
+			sum := l / (1 + m - l)
+			cf := GroupEfficiencyAllClasses(n, p)
+			if math.Abs(sum-cf) > 1e-9 {
+				t.Fatalf("n=%d p=%v: sum %v vs closed form %v", n, p, sum, cf)
+			}
+		}
+	}
+}
+
+func TestGroupEfficiencyAtLeastAllClasses(t *testing.T) {
+	// The optimized cutoff can only improve on using everything.
+	for _, n := range []int{2, 3, 6, 10, 30} {
+		for p := 0.05; p < 1; p += 0.05 {
+			if GroupEfficiency(n, p) < GroupEfficiencyAllClasses(n, p)-1e-12 {
+				t.Fatalf("n=%d p=%v: optimum below all-classes", n, p)
+			}
+		}
+	}
+}
+
+func TestUnicastEfficiency(t *testing.T) {
+	// Exact small case: n=3, p=0.5: L=0.25, eff = 0.25/(1+0.5) = 1/6.
+	if got := UnicastEfficiency(3, 0.5); math.Abs(got-1.0/6) > 1e-12 {
+		t.Fatalf("unicast(3, .5) = %v", got)
+	}
+	// Vanishes with n (the paper's point).
+	prev := math.Inf(1)
+	for _, n := range []int{2, 3, 6, 10, 100, 1000} {
+		e := UnicastEfficiency(n, 0.5)
+		if e >= prev {
+			t.Fatalf("unicast efficiency not decreasing at n=%d", n)
+		}
+		prev = e
+	}
+	if UnicastEfficiency(1000, 0.5) > 0.002 {
+		t.Fatalf("unicast at n=1000 = %v, should approach 0", UnicastEfficiency(1000, 0.5))
+	}
+	if UnicastEfficiencyInf(0.5) != 0 {
+		t.Fatal("unicast inf limit nonzero")
+	}
+}
+
+func TestGroupBeatsUnicast(t *testing.T) {
+	// For n > 2 the group algorithm strictly dominates the unicast
+	// baseline (they coincide in Phase 1 but Phase 2 redistributes
+	// instead of re-unicasting).
+	for _, n := range []int{3, 6, 10, 25} {
+		for p := 0.05; p < 0.999; p += 0.05 {
+			g, u := GroupEfficiency(n, p), UnicastEfficiency(n, p)
+			if g <= u {
+				t.Fatalf("n=%d p=%v: group %v <= unicast %v", n, p, g, u)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { GroupEfficiency(1, 0.5) },
+		func() { GroupEfficiency(3, -0.1) },
+		func() { GroupEfficiency(3, 1.1) },
+		func() { UnicastEfficiency(1, 0.5) },
+		func() { GroupEfficiencyInf(math.NaN()) },
+		func() { GroupEfficiencyAllClasses(0, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBinomPMF(t *testing.T) {
+	// Sums to 1.
+	for _, n := range []int{1, 5, 40, 300} {
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += binomPMF(n, k, 0.37)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("n=%d: pmf sums to %v", n, sum)
+		}
+	}
+	if binomPMF(5, -1, 0.5) != 0 || binomPMF(5, 6, 0.5) != 0 {
+		t.Fatal("out-of-range k nonzero")
+	}
+	if binomPMF(5, 0, 0) != 1 || binomPMF(5, 5, 1) != 1 {
+		t.Fatal("degenerate q wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/packet"
+)
+
+// Class is a reception class: the set of x-packets received by exactly the
+// terminal subset Members (leader excluded — the leader transmitted the
+// packets and trivially knows them all).
+//
+// Classes are the unit of Phase-1 privacy amplification: y-packets built
+// within a class are reconstructible by every member, and because distinct
+// classes cover disjoint x-packets, per-class wiretap security composes to
+// joint security (see internal/mds).
+type Class struct {
+	Members uint32 // bitmask over terminal indices; leader bit always 0
+	IDs     []packet.ID
+}
+
+// HasMember reports whether terminal i belongs to the class.
+func (c Class) HasMember(i int) bool { return c.Members&(1<<uint(i)) != 0 }
+
+// MemberCount returns the number of terminals in the class.
+func (c Class) MemberCount() int { return bits.OnesCount32(c.Members) }
+
+// Size returns the number of x-packets in the class.
+func (c Class) Size() int { return len(c.IDs) }
+
+// BuildClasses partitions x-packet IDs 0..numX-1 into reception classes
+// from the terminals' acknowledgment reports. recv is indexed by absolute
+// terminal index; recv[leader] is ignored. Packets received by no terminal
+// are dropped (they can never carry shared secrecy). The result is
+// deterministically ordered: larger member sets first (they are the most
+// valuable — every member benefits and no z-repair is needed among them),
+// ties broken by ascending bitmask.
+func BuildClasses(n, leader, numX int, recv []*packet.IDSet) []Class {
+	byMask := make(map[uint32][]packet.ID)
+	for id := 0; id < numX; id++ {
+		var mask uint32
+		for i := 0; i < n; i++ {
+			if i == leader {
+				continue
+			}
+			if recv[i] != nil && recv[i].Has(packet.ID(id)) {
+				mask |= 1 << uint(i)
+			}
+		}
+		if mask == 0 {
+			continue
+		}
+		byMask[mask] = append(byMask[mask], packet.ID(id))
+	}
+	out := make([]Class, 0, len(byMask))
+	for mask, ids := range byMask {
+		out = append(out, Class{Members: mask, IDs: ids})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ca, cb := out[a].MemberCount(), out[b].MemberCount()
+		if ca != cb {
+			return ca > cb
+		}
+		return out[a].Members < out[b].Members
+	})
+	return out
+}

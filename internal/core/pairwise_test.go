@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/radio"
+)
+
+func TestPairwiseRoundOracle(t *testing.T) {
+	cfg := Config{Terminals: 4, XPerRound: 60, PayloadBytes: 12, Estimator: Oracle{}, Seed: 6}
+	med := mediumFor(4, 0.4, 44)
+	res, err := RunPairwiseRound(cfg, med, []radio.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 0 || len(res.Pairs) != 3 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, p := range res.Pairs {
+		if p.SecretDims == 0 {
+			t.Fatalf("terminal %d got no pair-wise secret", p.Terminal)
+		}
+		if len(p.Secret) != p.SecretDims*cfg.PayloadBytes {
+			t.Fatalf("terminal %d secret size %d for %d dims", p.Terminal, len(p.Secret), p.SecretDims)
+		}
+		// Oracle budgets: every pair-wise secret is perfectly hidden.
+		if p.UnknownDims != p.SecretDims || p.Reliability != 1 {
+			t.Fatalf("terminal %d leaked: %d/%d", p.Terminal, p.UnknownDims, p.SecretDims)
+		}
+	}
+	if res.BitsTransmitted <= 0 || res.Airtime <= 0 {
+		t.Fatal("accounting missing")
+	}
+}
+
+func TestPairwiseRoundSecretsDiffer(t *testing.T) {
+	// Different terminals' pair-wise secrets must differ wherever they
+	// include per-terminal pools (they may share the shared-class prefix).
+	cfg := Config{Terminals: 3, XPerRound: 80, PayloadBytes: 8, Estimator: Oracle{}, Seed: 8}
+	med := mediumFor(3, 0.5, 21)
+	res, err := RunPairwiseRound(cfg, med, []radio.NodeID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 2 &&
+		res.Pairs[0].SecretDims > 0 && res.Pairs[1].SecretDims > 0 &&
+		string(res.Pairs[0].Secret) == string(res.Pairs[1].Secret) {
+		t.Fatal("distinct terminals share an identical pair-wise secret")
+	}
+}
+
+func TestPairwiseRoundOmniscientEve(t *testing.T) {
+	cfg := Config{Terminals: 3, XPerRound: 30, PayloadBytes: 8, Estimator: Oracle{}, Seed: 1}
+	med := mediumFor(3, 0, 2)
+	res, err := RunPairwiseRound(cfg, med, []radio.NodeID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Pairs {
+		if p.SecretDims != 0 {
+			t.Fatalf("terminal %d has a secret against omniscient Eve", p.Terminal)
+		}
+		if !math.IsNaN(p.Reliability) {
+			t.Fatalf("terminal %d reliability = %v, want NaN", p.Terminal, p.Reliability)
+		}
+	}
+}
+
+func TestPairwiseRoundValidation(t *testing.T) {
+	if _, err := RunPairwiseRound(Config{Terminals: 1, XPerRound: 5}, mediumFor(2, 0, 1), nil); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	cfg := Config{Terminals: 3, XPerRound: 10}
+	if _, err := RunPairwiseRound(cfg, radio.NewMedium(radio.Uniform{}, 2, 1), nil); err == nil {
+		t.Fatal("small medium accepted")
+	}
+	if _, err := RunPairwiseRound(cfg, mediumFor(3, 0, 1), []radio.NodeID{0}); err == nil {
+		t.Fatal("eve collision accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/packet"
+)
+
+// Pooling decides how the round's x-packets are grouped into the pools
+// that Phase 1 privacy-amplifies. A pool is a Class whose Members may be
+// any subset of the terminals that received all of its packets; secrecy
+// composes across pools because pools have disjoint x-supports.
+//
+// The trade-off the policies navigate: exact reception-signature classes
+// maximize sharing (one y-packet can serve many terminals), but with many
+// terminals the signatures fragment the x-packets into classes too small
+// for a conservative budget, starving the round. Balanced pooling keeps
+// the large shared classes and re-aggregates the fragments into fat
+// two-member (ring pair) or single-member pools, trading z-packet repair
+// traffic for budgetable mass.
+type Pooling interface {
+	Name() string
+	// Pools regroups ctx.Classes (the exact reception classes) into the
+	// pools to be budgeted. Every returned pool must satisfy the
+	// invariant: every member received every packet in the pool.
+	Pools(ctx *EstimatorContext) []Class
+}
+
+// ExactPooling budgets the reception classes as they are. This is the
+// cleanest construction (maximal sharing) and what the Figure-1 fluid
+// analysis assumes; it is the right choice for small groups and for
+// oracle-budgeted analysis.
+type ExactPooling struct{}
+
+// Name implements Pooling.
+func (ExactPooling) Name() string { return "exact" }
+
+// Pools implements Pooling.
+func (ExactPooling) Pools(ctx *EstimatorContext) []Class { return ctx.Classes }
+
+// DefaultMinPoolSize is the class size below which BalancedPooling
+// re-aggregates fragments. With Eve miss rates around one half, classes
+// of this size are the smallest that can earn a conservative budget.
+const DefaultMinPoolSize = 9
+
+// BalancedPooling keeps exact classes of at least MinPoolSize packets that
+// serve at least two terminals, and redistributes every other x-packet
+// into aggregate pools:
+//
+//   - per-terminal pools, each fragment growing the pool of the currently
+//     least-covered terminal (default); or
+//   - with UsePairs, preferentially into "ring pair" pools — the
+//     non-leader terminals are arranged in a ring and each adjacent pair
+//     is a candidate member set, so one pooled packet serves two
+//     terminals.
+//
+// Pair pooling raises nominal efficiency but selects packets received by
+// BOTH members, and under correlated channels (the rotating jammer) such
+// doubly-selected packets are systematically easier for Eve too, eroding
+// the estimator's safety margin. The allocation ablation quantifies this;
+// per-terminal pooling is the default.
+type BalancedPooling struct {
+	// MinPoolSize is the smallest exact class kept as-is; 0 means
+	// DefaultMinPoolSize.
+	MinPoolSize int
+	// UsePairs enables ring-pair aggregation for fragments.
+	UsePairs bool
+}
+
+// Name implements Pooling.
+func (b BalancedPooling) Name() string {
+	if b.UsePairs {
+		return fmt.Sprintf("balanced-pairs(%d)", b.minSize())
+	}
+	return fmt.Sprintf("balanced(%d)", b.minSize())
+}
+
+func (b BalancedPooling) minSize() int {
+	if b.MinPoolSize <= 0 {
+		return DefaultMinPoolSize
+	}
+	return b.MinPoolSize
+}
+
+// Pools implements Pooling.
+func (b BalancedPooling) Pools(ctx *EstimatorContext) []Class {
+	minSize := b.minSize()
+	var kept []Class
+	load := make([]int, ctx.Terminals) // pooled packets covering each terminal
+	type frag struct {
+		id      packet.ID
+		members uint32
+	}
+	var frags []frag
+	for _, cl := range ctx.Classes {
+		if cl.Size() >= minSize && cl.MemberCount() >= 2 {
+			kept = append(kept, cl)
+			for i := 0; i < ctx.Terminals; i++ {
+				if cl.HasMember(i) {
+					load[i] += cl.Size()
+				}
+			}
+			continue
+		}
+		for _, id := range cl.IDs {
+			frags = append(frags, frag{id: id, members: cl.Members})
+		}
+	}
+	sort.Slice(frags, func(a, b int) bool { return frags[a].id < frags[b].id })
+
+	// Candidate member sets: ring pairs over the non-leader terminals (in
+	// index order), then singletons.
+	var candidates []uint32
+	if b.UsePairs {
+		var ring []int
+		for i := 0; i < ctx.Terminals; i++ {
+			if i != ctx.Leader {
+				ring = append(ring, i)
+			}
+		}
+		if len(ring) >= 3 {
+			for k := range ring {
+				candidates = append(candidates, 1<<uint(ring[k])|1<<uint(ring[(k+1)%len(ring)]))
+			}
+		} else if len(ring) == 2 {
+			candidates = append(candidates, 1<<uint(ring[0])|1<<uint(ring[1]))
+		}
+	}
+	for i := 0; i < ctx.Terminals; i++ {
+		if i != ctx.Leader {
+			candidates = append(candidates, 1<<uint(i))
+		}
+	}
+
+	pools := make(map[uint32][]packet.ID)
+	for _, fr := range frags {
+		best := uint32(0)
+		bestKey := [3]int{1 << 30, 0, 1 << 30} // minLoad, -size, mask
+		for _, cand := range candidates {
+			if cand&fr.members != cand {
+				continue // some candidate member missed this packet
+			}
+			minLoad := 1 << 30
+			for i := 0; i < ctx.Terminals; i++ {
+				if cand&(1<<uint(i)) != 0 && load[i] < minLoad {
+					minLoad = load[i]
+				}
+			}
+			key := [3]int{minLoad, -bits.OnesCount32(cand), int(cand)}
+			if best == 0 || key[0] < bestKey[0] ||
+				(key[0] == bestKey[0] && key[1] < bestKey[1]) ||
+				(key[0] == bestKey[0] && key[1] == bestKey[1] && key[2] < bestKey[2]) {
+				best, bestKey = cand, key
+			}
+		}
+		if best == 0 {
+			continue // unreachable: classes never have empty membership
+		}
+		pools[best] = append(pools[best], fr.id)
+		for i := 0; i < ctx.Terminals; i++ {
+			if best&(1<<uint(i)) != 0 {
+				load[i]++
+			}
+		}
+	}
+
+	out := append([]Class(nil), kept...)
+	masks := make([]uint32, 0, len(pools))
+	for m := range pools {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(a, b int) bool { return masks[a] < masks[b] })
+	for _, m := range masks {
+		out = append(out, Class{Members: m, IDs: pools[m]})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ca, cb := bits.OnesCount32(out[a].Members), bits.OnesCount32(out[b].Members)
+		if ca != cb {
+			return ca > cb
+		}
+		if out[a].Members != out[b].Members {
+			return out[a].Members < out[b].Members
+		}
+		return len(out[a].IDs) > len(out[b].IDs)
+	})
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestExactPoolingPassthrough(t *testing.T) {
+	recv := []*packet.IDSet{fullIDSet(4), setOf(0, 1), setOf(1, 2)}
+	ctx := &EstimatorContext{Terminals: 3, Leader: 0, NumX: 4, Recv: recv}
+	ctx.Classes = BuildClasses(3, 0, 4, recv)
+	got := (ExactPooling{}).Pools(ctx)
+	if len(got) != len(ctx.Classes) {
+		t.Fatalf("exact pooling changed class count")
+	}
+	if (ExactPooling{}).Name() != "exact" {
+		t.Fatal("name")
+	}
+}
+
+func TestBalancedPoolingKeepsFatSharedClasses(t *testing.T) {
+	// One big class shared by both terminals, plus fragments.
+	ids := func(lo, hi int) []packet.ID {
+		var out []packet.ID
+		for i := lo; i < hi; i++ {
+			out = append(out, packet.ID(i))
+		}
+		return out
+	}
+	shared := packet.FromSlice(ids(0, 20))
+	r1 := shared.Clone()
+	r1.Add(30)
+	r1.Add(31)
+	r2 := shared.Clone()
+	r2.Add(40)
+	recv := []*packet.IDSet{fullIDSet(41), r1, r2}
+	ctx := &EstimatorContext{Terminals: 3, Leader: 0, NumX: 41, Recv: recv}
+	ctx.Classes = BuildClasses(3, 0, 41, recv)
+	pools := (BalancedPooling{MinPoolSize: 9}).Pools(ctx)
+	// Expect: the 20-packet class kept with both members; fragments merged
+	// into per-terminal pools.
+	if pools[0].MemberCount() != 2 || pools[0].Size() != 20 {
+		t.Fatalf("first pool %+v", pools[0])
+	}
+	var t1, t2 int
+	for _, p := range pools[1:] {
+		if p.MemberCount() != 1 {
+			t.Fatalf("expected singleton pools after the shared one: %+v", p)
+		}
+		if p.HasMember(1) {
+			t1 += p.Size()
+		}
+		if p.HasMember(2) {
+			t2 += p.Size()
+		}
+	}
+	if t1 != 2 || t2 != 1 {
+		t.Fatalf("fragment totals t1=%d t2=%d", t1, t2)
+	}
+}
+
+func TestBalancedPoolingPrefersSharedPairs(t *testing.T) {
+	// All packets received by both terminals but in a class below the
+	// threshold: with two non-leader terminals the single ring pair {1,2}
+	// absorbs everything — one pooled packet serves both terminals.
+	recv := []*packet.IDSet{fullIDSet(10), fullIDSet(10), fullIDSet(10)}
+	ctx := &EstimatorContext{Terminals: 3, Leader: 0, NumX: 10, Recv: recv}
+	ctx.Classes = BuildClasses(3, 0, 10, recv)
+	pools := (BalancedPooling{MinPoolSize: 50, UsePairs: true}).Pools(ctx)
+	if len(pools) != 1 {
+		t.Fatalf("pools = %+v", pools)
+	}
+	if pools[0].Members != (1<<1)|(1<<2) || pools[0].Size() != 10 {
+		t.Fatalf("pair pool wrong: %+v", pools[0])
+	}
+	if (BalancedPooling{UsePairs: true}).Name() != "balanced-pairs(9)" {
+		t.Fatal("pairs name wrong")
+	}
+}
+
+func TestBalancedPoolingSingletonModeBalancesLoad(t *testing.T) {
+	// With pairs disabled the same packets must be split evenly between
+	// per-terminal pools rather than all going to one.
+	recv := []*packet.IDSet{fullIDSet(10), fullIDSet(10), fullIDSet(10)}
+	ctx := &EstimatorContext{Terminals: 3, Leader: 0, NumX: 10, Recv: recv}
+	ctx.Classes = BuildClasses(3, 0, 10, recv)
+	pools := (BalancedPooling{MinPoolSize: 50}).Pools(ctx)
+	if len(pools) != 2 {
+		t.Fatalf("pools = %+v", pools)
+	}
+	if pools[0].Size() != 5 || pools[1].Size() != 5 {
+		t.Fatalf("unbalanced pools: %d vs %d", pools[0].Size(), pools[1].Size())
+	}
+	if (BalancedPooling{}).Name() != "balanced(9)" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestBalancedPoolingInvariant(t *testing.T) {
+	// Invariant: every member of every pool received every packet in the
+	// pool; pools partition a subset of the transmitted IDs.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		numX := 20 + rng.Intn(60)
+		recv := make([]*packet.IDSet, n)
+		recv[0] = fullIDSet(numX)
+		for i := 1; i < n; i++ {
+			recv[i] = packet.NewIDSet(numX)
+			for id := 0; id < numX; id++ {
+				if rng.Float64() < 0.6 {
+					recv[i].Add(packet.ID(id))
+				}
+			}
+		}
+		ctx := &EstimatorContext{Terminals: n, Leader: 0, NumX: numX, Recv: recv}
+		ctx.Classes = BuildClasses(n, 0, numX, recv)
+		pools := (BalancedPooling{}).Pools(ctx)
+		seen := packet.NewIDSet(numX)
+		for _, p := range pools {
+			if p.Members == 0 || p.Size() == 0 {
+				t.Fatalf("trial %d: degenerate pool %+v", trial, p)
+			}
+			for _, id := range p.IDs {
+				if seen.Has(id) {
+					t.Fatalf("trial %d: id %d in two pools", trial, id)
+				}
+				seen.Add(id)
+				for i := 0; i < n; i++ {
+					if p.HasMember(i) && !recv[i].Has(id) {
+						t.Fatalf("trial %d: pool member %d missing packet %d", trial, i, id)
+					}
+				}
+			}
+		}
+		// Coverage: every packet received by at least one terminal is
+		// pooled somewhere (balanced pooling never discards).
+		union := packet.NewIDSet(numX)
+		for i := 1; i < n; i++ {
+			union = union.Union(recv[i])
+		}
+		if seen.Count() != union.Count() {
+			t.Fatalf("trial %d: pooled %d of %d received packets", trial, seen.Count(), union.Count())
+		}
+	}
+}
+
+func TestBalancedPoolingName(t *testing.T) {
+	if (BalancedPooling{MinPoolSize: 4}).Name() != "balanced(4)" {
+		t.Fatal("explicit size name wrong")
+	}
+}

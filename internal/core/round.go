@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gf"
+	"repro/internal/mds"
+	"repro/internal/packet"
+	"repro/internal/wire"
+)
+
+// LeaderRound is the leader's complete view of one round's coding.
+type LeaderRound struct {
+	Plan   *Plan
+	Y      [][]Sym // M y-packet payloads
+	Z      [][]Sym // M-L z-packet payloads (reliably broadcast)
+	Secret [][]Sym // L s-packet payloads (the round's group secret)
+}
+
+// ComputeLeaderRound executes Phase 1 steps 3-4 and Phase 2 on the leader,
+// given the plan and the x-packet payload symbols. The plan must have
+// L > 0.
+func ComputeLeaderRound(plan *Plan, xSym [][]Sym) *LeaderRound {
+	if plan.L <= 0 {
+		panic("core: ComputeLeaderRound on a round with no secret")
+	}
+	if len(xSym) != plan.NumX {
+		panic("core: x payload count mismatch")
+	}
+	lr := &LeaderRound{Plan: plan, Y: ComputeY(plan, xSym)}
+	lr.Z = plan.Redist.EncodeZ(lr.Y)
+	lr.Secret = plan.Redist.EncodeS(lr.Y)
+	return lr
+}
+
+// ComputeY evaluates the plan's y-packet payloads from the x-packet
+// payload symbols (Phase 1 step 3 without the Phase 2 coding). Exposed for
+// the unicast baseline, which shares Phase 1 with the group protocol.
+func ComputeY(plan *Plan, xSym [][]Sym) [][]Sym {
+	if len(xSym) != plan.NumX {
+		panic("core: x payload count mismatch")
+	}
+	var y [][]Sym
+	for k, cl := range plan.Classes {
+		y = append(y, plan.Extractors[k].Extract(xSymbolsForClass(cl, xSym))...)
+	}
+	return y
+}
+
+// BuildYAnnounce renders the plan's y-packet constructions as the wire
+// message the leader reliably broadcasts (step 3 of Phase 1: identities
+// and coefficients, never contents).
+func BuildYAnnounce(h wire.Header, plan *Plan) *wire.YAnnounce {
+	h.Type = wire.TypeYAnnounce
+	msg := &wire.YAnnounce{Header: h}
+	for k, cl := range plan.Classes {
+		ids := make([]uint32, len(cl.IDs))
+		for i, id := range cl.IDs {
+			ids[i] = uint32(id)
+		}
+		msg.Classes = append(msg.Classes, wire.ClassBatch{
+			XIDs:   ids,
+			Coeffs: mds.MatrixToRows(plan.Extractors[k].Coeffs()),
+		})
+	}
+	return msg
+}
+
+// BuildZPackets renders the z-packets (coefficients and contents) for
+// reliable broadcast (step 1 of Phase 2).
+func BuildZPackets(h wire.Header, plan *Plan, z [][]Sym) []*wire.ZPacket {
+	h.Type = wire.TypeZ
+	zc := plan.Redist.ZCoeffs()
+	out := make([]*wire.ZPacket, len(z))
+	for j := range z {
+		out[j] = &wire.ZPacket{
+			Header:  h,
+			Index:   uint16(j),
+			Coeffs:  append([]Sym(nil), zc.Row(j)...),
+			Payload: gf.Bytes16(z[j]),
+		}
+	}
+	return out
+}
+
+// BuildSAnnounce renders the s-packet coefficient announcement (step 3 of
+// Phase 2: identities only, never contents).
+func BuildSAnnounce(h wire.Header, plan *Plan) *wire.SAnnounce {
+	h.Type = wire.TypeSAnnounce
+	return &wire.SAnnounce{Header: h, Coeffs: mds.MatrixToRows(plan.Redist.SCoeffs())}
+}
+
+// ComputeTerminalSecret executes the terminal side of a round purely from
+// the wire messages and the terminal's received x-packet payloads:
+// reconstruct the y-packets of every class fully covered by the reception
+// set, complete the rest from the z-packets, then form the s-packets.
+// It returns the round's group secret.
+func ComputeTerminalSecret(
+	recv map[packet.ID][]Sym,
+	ya *wire.YAnnounce,
+	zs []*wire.ZPacket,
+	sa *wire.SAnnounce,
+) ([][]Sym, error) {
+	f := Field()
+	// Reconstruct what we can of the y-packets.
+	known := make(map[int][]Sym)
+	global := 0
+	for _, batch := range ya.Classes {
+		have := true
+		for _, id := range batch.XIDs {
+			if _, ok := recv[packet.ID(id)]; !ok {
+				have = false
+				break
+			}
+		}
+		for r, row := range batch.Coeffs {
+			if len(row) != len(batch.XIDs) {
+				return nil, fmt.Errorf("core: class coefficient row %d has %d entries for %d x-packets", r, len(row), len(batch.XIDs))
+			}
+			if have {
+				var y []Sym
+				for c, id := range batch.XIDs {
+					p := recv[packet.ID(id)]
+					if y == nil {
+						y = make([]Sym, len(p))
+					}
+					f.AddMulSlice(y, p, row[c])
+				}
+				if y == nil { // zero-width class (no x-ids): degenerate
+					y = []Sym{}
+				}
+				known[global] = y
+			}
+			global++
+		}
+	}
+	m := global
+
+	// Order the z-packets by index and check coherence.
+	zsorted := append([]*wire.ZPacket(nil), zs...)
+	sort.Slice(zsorted, func(a, b int) bool { return zsorted[a].Index < zsorted[b].Index })
+	coeffs := make([][]Sym, len(zsorted))
+	payloads := make([][]Sym, len(zsorted))
+	for j, zp := range zsorted {
+		if int(zp.Index) != j {
+			return nil, fmt.Errorf("core: z-packet indices not contiguous (saw %d at position %d)", zp.Index, j)
+		}
+		if len(zp.Coeffs) != m {
+			return nil, fmt.Errorf("core: z-packet %d has %d coefficients, want %d", j, len(zp.Coeffs), m)
+		}
+		if len(zp.Payload)%2 != 0 {
+			return nil, fmt.Errorf("core: z-packet %d has odd payload length", j)
+		}
+		coeffs[j] = zp.Coeffs
+		payloads[j] = gf.Symbols16(zp.Payload)
+	}
+
+	full, err := mds.CompleteFromEquations(f, m, known, coeffs, payloads)
+	if err != nil {
+		return nil, fmt.Errorf("core: completing y-packets: %w", err)
+	}
+
+	// Privacy amplification: s = announced coefficients times y.
+	secret := make([][]Sym, len(sa.Coeffs))
+	for i, row := range sa.Coeffs {
+		if len(row) != m {
+			return nil, fmt.Errorf("core: s-coefficient row %d has %d entries, want %d", i, len(row), m)
+		}
+		var s []Sym
+		for j, c := range row {
+			if s == nil {
+				s = make([]Sym, len(full[j]))
+			}
+			f.AddMulSlice(s, full[j], c)
+		}
+		if s == nil {
+			s = []Sym{}
+		}
+		secret[i] = s
+	}
+	return secret, nil
+}
+
+// SecretBytes flattens s-packet payload rows into the session secret byte
+// string.
+func SecretBytes(secret [][]Sym) []byte {
+	var out []byte
+	for _, row := range secret {
+		out = append(out, gf.Bytes16(row)...)
+	}
+	return out
+}
+
+// PairwiseSecret returns terminal i's Phase-1 pair-wise secret with the
+// round's leader: the concatenation of the y-packets the terminal can
+// reconstruct ("their shared pair-wise secret is the concatenation of
+// these packets"). The group protocol consumes these via Phase 2; the
+// function exposes them directly for pair-oriented applications and the
+// unicast baseline.
+func PairwiseSecret(plan *Plan, y [][]Sym, terminal int) []byte {
+	var out []byte
+	for _, idx := range plan.TerminalYIndices(terminal) {
+		out = append(out, gf.Bytes16(y[idx])...)
+	}
+	return out
+}

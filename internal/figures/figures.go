@@ -1,0 +1,744 @@
+// Package figures regenerates every figure and headline number of the
+// paper's evaluation, as indexed in DESIGN.md §4. It is the single source
+// used by cmd/thinair-bench, the root bench suite, and EXPERIMENTS.md.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/testbed"
+	"repro/internal/unicast"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1: maximum efficiency vs erasure probability.
+
+// Fig1Point is one (n, p) evaluation of the two algorithms.
+type Fig1Point struct {
+	P       float64
+	Group   float64
+	Unicast float64
+}
+
+// Fig1Curve is one group-size curve of Figure 1.
+type Fig1Curve struct {
+	N      int // 0 means the n -> ∞ limit
+	Points []Fig1Point
+}
+
+// Figure1 computes the analytic curves for the given group sizes (use 0
+// for the infinite limit) over a uniform grid of erasure probabilities.
+func Figure1(ns []int, steps int) []Fig1Curve {
+	if steps < 2 {
+		steps = 21
+	}
+	out := make([]Fig1Curve, 0, len(ns))
+	for _, n := range ns {
+		c := Fig1Curve{N: n}
+		for i := 0; i <= steps; i++ {
+			p := float64(i) / float64(steps)
+			pt := Fig1Point{P: p}
+			if n == 0 {
+				pt.Group = analytic.GroupEfficiencyInf(p)
+				pt.Unicast = analytic.UnicastEfficiencyInf(p)
+			} else {
+				pt.Group = analytic.GroupEfficiency(n, p)
+				pt.Unicast = analytic.UnicastEfficiency(n, p)
+			}
+			c.Points = append(c.Points, pt)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FormatFigure1 renders the curves as the text analogue of Figure 1.
+func FormatFigure1(curves []Fig1Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — maximum efficiency vs erasure probability\n")
+	fmt.Fprintf(&b, "(continuous = group algorithm, dashed = unicast baseline)\n\n")
+	fmt.Fprintf(&b, "%6s", "p")
+	for _, c := range curves {
+		label := "inf"
+		if c.N > 0 {
+			label = fmt.Sprintf("%d", c.N)
+		}
+		fmt.Fprintf(&b, "  grp(n=%-3s  uni(n=%-3s", label+")", label+")")
+	}
+	b.WriteByte('\n')
+	for i := range curves[0].Points {
+		fmt.Fprintf(&b, "%6.2f", curves[0].Points[i].P)
+		for _, c := range curves {
+			fmt.Fprintf(&b, "  %10.4f  %10.4f", c.Points[i].Group, c.Points[i].Unicast)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig1MCPoint cross-validates one (n, p) analytic value against a
+// Monte-Carlo run of the actual protocol with oracle estimates and exact
+// reception classes. Measured efficiency is in packet accounting
+// (secret packets / (x-packets + z-packets)), matching the analytic
+// model's no-control-overhead normalization.
+type Fig1MCPoint struct {
+	N        int
+	P        float64
+	Analytic float64 // all-classes closed form (what the protocol implements)
+	Measured float64
+	Sessions int
+}
+
+// Figure1MonteCarlo runs the protocol on symmetric erasure channels and
+// reports measured vs analytic efficiency.
+func Figure1MonteCarlo(ns []int, ps []float64, xPerRound, sessions int, seed int64) []Fig1MCPoint {
+	var out []Fig1MCPoint
+	for _, n := range ns {
+		for _, p := range ps {
+			var secret, spent int64
+			for s := 0; s < sessions; s++ {
+				cfg := core.Config{
+					Terminals: n, XPerRound: xPerRound, PayloadBytes: 8,
+					Estimator: core.Oracle{}, Pooling: core.ExactPooling{},
+					Seed: seed + int64(s)*31 + int64(n)*1009,
+				}
+				med := radio.NewMedium(radio.Uniform{P: p}, n+1, seed+int64(s)*977+int64(n))
+				res, err := core.RunSession(cfg, med, []radio.NodeID{radio.NodeID(n)})
+				if err != nil {
+					panic(err) // static configs; cannot fail
+				}
+				for _, ri := range res.Rounds {
+					secret += int64(ri.L)
+					spent += int64(ri.NumX + ri.M - ri.L)
+				}
+			}
+			pt := Fig1MCPoint{
+				N: n, P: p, Sessions: sessions,
+				Analytic: analytic.GroupEfficiencyAllClasses(n, p),
+			}
+			if spent > 0 {
+				pt.Measured = float64(secret) / float64(spent)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// FormatFigure1MC renders the Monte-Carlo cross-validation table.
+func FormatFigure1MC(pts []Fig1MCPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 cross-validation — protocol (oracle, exact classes) vs analytic\n\n")
+	fmt.Fprintf(&b, "%4s %6s %10s %10s %8s\n", "n", "p", "analytic", "measured", "ratio")
+	for _, pt := range pts {
+		ratio := math.NaN()
+		if pt.Analytic > 0 {
+			ratio = pt.Measured / pt.Analytic
+		}
+		fmt.Fprintf(&b, "%4d %6.2f %10.4f %10.4f %8.3f\n", pt.N, pt.P, pt.Analytic, pt.Measured, ratio)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: reliability vs number of terminals on the testbed.
+
+// Fig2Options parameterizes the testbed sweep.
+type Fig2Options struct {
+	// Ns lists the group sizes; nil means the paper's 3..8.
+	Ns []int
+	// XPerRound, Rounds, PayloadBytes override the §4-like defaults
+	// (90 x-packets over 9 slots, 3 rotating rounds, 100-byte packets).
+	XPerRound    int
+	Rounds       int
+	PayloadBytes int
+	// MaxPlacements bounds the per-n placement count (0 = every
+	// placement, as the paper runs it).
+	MaxPlacements int
+	Seed          int64
+	Channel       *testbed.Channel
+}
+
+func (o *Fig2Options) fill() {
+	if len(o.Ns) == 0 {
+		o.Ns = []int{3, 4, 5, 6, 7, 8}
+	}
+	if o.XPerRound == 0 {
+		o.XPerRound = 90
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 3
+	}
+	if o.PayloadBytes == 0 {
+		o.PayloadBytes = 100
+	}
+	if o.Channel == nil {
+		ch := testbed.DefaultChannel()
+		o.Channel = &ch
+	}
+}
+
+// Figure2 runs the placement sweep for every group size.
+func Figure2(opt Fig2Options) ([]*testbed.SweepResult, error) {
+	opt.fill()
+	var out []*testbed.SweepResult
+	for _, n := range opt.Ns {
+		res, err := testbed.Sweep(n, testbed.SweepOptions{
+			Protocol: core.Config{
+				XPerRound:    opt.XPerRound,
+				PayloadBytes: opt.PayloadBytes,
+				Rounds:       opt.Rounds,
+				Rotate:       true,
+			},
+			Channel:       *opt.Channel,
+			Seed:          opt.Seed,
+			MaxPlacements: opt.MaxPlacements,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatFigure2 renders the sweep as the text analogue of Figure 2.
+func FormatFigure2(rows []*testbed.SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — reliability vs number of terminals\n")
+	fmt.Fprintf(&b, "(min = diamonds, 95th pct = triangles, average = circles, 50th pct = squares)\n\n")
+	fmt.Fprintf(&b, "%4s %6s %9s %8s %8s %8s %8s %10s %9s\n",
+		"n", "exps", "noSecret", "min", "p95", "avg", "p50", "minEff", "minKbps")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %6d %9d %8.3f %8.3f %8.3f %8.3f %10.4f %9.1f\n",
+			r.N, r.Experiments, r.NoSecret,
+			r.Reliability.Min, r.Reliability.P95, r.Reliability.Mean, r.Reliability.P50,
+			r.Efficiency.Min, r.MinKbps)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Headline: n = 8 efficiency and secret rate.
+
+// HeadlineResult carries the paper's §4 headline numbers for n = 8.
+type HeadlineResult struct {
+	Sweep *testbed.SweepResult
+	// MinEfficiency and MinKbps correspond to "minimum efficiency 0.038;
+	// given that the terminals transmit at 1 Mbps, this efficiency yields
+	// 38 secret Kbps".
+	MinEfficiency float64
+	MinKbps       float64
+	// MinReliability corresponds to "for n = 8 terminals, we achieve
+	// minimum reliability rmin = 1".
+	MinReliability float64
+}
+
+// Headline runs the full n = 8 placement set.
+func Headline(opt Fig2Options) (*HeadlineResult, error) {
+	opt.Ns = []int{8}
+	rows, err := Figure2(opt)
+	if err != nil {
+		return nil, err
+	}
+	r := rows[0]
+	return &HeadlineResult{
+		Sweep:          r,
+		MinEfficiency:  r.Efficiency.Min,
+		MinKbps:        r.MinKbps,
+		MinReliability: r.Reliability.Min,
+	}, nil
+}
+
+// FormatHeadline renders the headline comparison against the paper.
+func FormatHeadline(h *HeadlineResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline (n = 8, all %d placements)\n\n", h.Sweep.Experiments)
+	fmt.Fprintf(&b, "%-28s %12s %12s\n", "metric", "paper", "measured")
+	fmt.Fprintf(&b, "%-28s %12.3f %12.4f\n", "minimum efficiency", 0.038, h.MinEfficiency)
+	fmt.Fprintf(&b, "%-28s %12.1f %12.1f\n", "secret kbps at 1 Mbps", 38.0, h.MinKbps)
+	fmt.Fprintf(&b, "%-28s %12.1f %12.3f\n", "minimum reliability", 1.0, h.MinReliability)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Rotation worst-case check (§3.2).
+
+// RotationResult reports how often Eve covered a terminal (received a
+// superset of its x-packets) with and without leader rotation.
+type RotationResult struct {
+	Experiments        int
+	RoundsTotal        int
+	RoundsEveCovered   int // rounds with >= 1 covered terminal
+	SessionsAllCovered int // sessions where EVERY round had a covered terminal
+	// MeanMaxOverlap averages, over rounds, the worst per-terminal
+	// fraction of received packets Eve also got (1.0 = worst case).
+	MeanMaxOverlap float64
+	// SessionRisk averages, over sessions, the minimum over rounds of
+	// MaxEveOverlap: how exposed a session remains even in its BEST
+	// round. Rotation drives this down because Eve cannot sit next to
+	// every leader at once.
+	SessionRisk float64
+}
+
+// RotationCheck measures the §3.2 worst case across the n-terminal
+// placement set.
+func RotationCheck(n int, rotate bool, opt Fig2Options) (*RotationResult, error) {
+	opt.fill()
+	placements := testbed.EnumeratePlacements(n)
+	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
+		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
+		var sub []testbed.Placement
+		for i := 0; i < len(placements); i += stride {
+			sub = append(sub, placements[i])
+		}
+		placements = sub
+	}
+	out := &RotationResult{Experiments: len(placements)}
+	var overlapSum, riskSum float64
+	for i, pl := range placements {
+		ex := &testbed.Experiment{
+			Placement: pl,
+			Channel:   *opt.Channel,
+			Protocol: core.Config{
+				XPerRound:    opt.XPerRound,
+				PayloadBytes: opt.PayloadBytes,
+				Rounds:       opt.Rounds,
+				Rotate:       rotate,
+				Estimator:    core.Oracle{},
+			},
+			Seed: opt.Seed + int64(i)*37199 + 5,
+		}
+		res, err := ex.Run()
+		if err != nil {
+			return nil, err
+		}
+		allCovered := true
+		best := math.Inf(1)
+		for _, ri := range res.Rounds {
+			out.RoundsTotal++
+			overlapSum += ri.MaxEveOverlap
+			if ri.MaxEveOverlap < best {
+				best = ri.MaxEveOverlap
+			}
+			if ri.EveCoveredTerminals > 0 {
+				out.RoundsEveCovered++
+			} else {
+				allCovered = false
+			}
+		}
+		if allCovered {
+			out.SessionsAllCovered++
+		}
+		if !math.IsInf(best, 1) {
+			riskSum += best
+		}
+	}
+	if out.RoundsTotal > 0 {
+		out.MeanMaxOverlap = overlapSum / float64(out.RoundsTotal)
+	}
+	if out.Experiments > 0 {
+		out.SessionRisk = riskSum / float64(out.Experiments)
+	}
+	return out, nil
+}
+
+// FormatRotation renders the worst-case comparison.
+func FormatRotation(with, without *RotationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Worst-case avoidance (§3.2): rounds where Eve overheard a superset\n")
+	fmt.Fprintf(&b, "of some terminal's x-packets, with and without leader rotation\n\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %16s %12s %12s\n", "", "rounds", "covered", "sessions stuck", "meanOverlap", "sessionRisk")
+	fmt.Fprintf(&b, "%-22s %12d %12d %16d %12.3f %12.3f\n", "rotation ON", with.RoundsTotal, with.RoundsEveCovered, with.SessionsAllCovered, with.MeanMaxOverlap, with.SessionRisk)
+	fmt.Fprintf(&b, "%-22s %12d %12d %16d %12.3f %12.3f\n", "rotation OFF", without.RoundsTotal, without.RoundsEveCovered, without.SessionsAllCovered, without.MeanMaxOverlap, without.SessionRisk)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations.
+
+// AblationRow is one configuration's aggregate outcome on the testbed.
+type AblationRow struct {
+	Name          string
+	MeanEff       float64
+	MinReliab     float64
+	P50Reliab     float64
+	MeanReliab    float64
+	NoSecretCount int
+}
+
+// AblationEstimators compares estimators at a fixed group size.
+func AblationEstimators(n int, opt Fig2Options) ([]AblationRow, error) {
+	opt.fill()
+	ests := []core.Estimator{
+		core.Oracle{},
+		core.FixedDelta{Delta: 0.45},
+		core.LeaveOneOut{},
+		core.LeaveOneOut{Conditional: true},
+		core.KSubset{K: 2},
+	}
+	var rows []AblationRow
+	for _, est := range ests {
+		row, err := runAblation(est.Name(), n, opt, func(cfg *core.Config) { cfg.Estimator = est })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// AblationAllocation compares pooling policies at a fixed group size.
+func AblationAllocation(n int, opt Fig2Options) ([]AblationRow, error) {
+	opt.fill()
+	pools := []core.Pooling{
+		core.BalancedPooling{},
+		core.BalancedPooling{UsePairs: true},
+		core.ExactPooling{},
+	}
+	var rows []AblationRow
+	for _, p := range pools {
+		row, err := runAblation(p.Name(), n, opt, func(cfg *core.Config) { cfg.Pooling = p })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	// Unicast baseline on the same channel for context.
+	row, err := runAblationCustom("unicast-baseline", n, opt, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *row)
+	return rows, nil
+}
+
+// AblationInterference compares jamming on vs off.
+func AblationInterference(n int, opt Fig2Options) ([]AblationRow, error) {
+	opt.fill()
+	on := *opt.Channel
+	off := on
+	off.JamPErase = 0
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name string
+		ch   testbed.Channel
+	}{{"interference-on", on}, {"interference-off", off}} {
+		o := opt
+		o.Channel = &tc.ch
+		row, err := runAblation(tc.name, n, o, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// AblationRotation compares leader rotation on vs off.
+func AblationRotation(n int, opt Fig2Options) ([]AblationRow, error) {
+	opt.fill()
+	var rows []AblationRow
+	for _, rotate := range []bool{true, false} {
+		name := "rotation-on"
+		if !rotate {
+			name = "rotation-off"
+		}
+		r := rotate
+		row, err := runAblation(name, n, opt, func(cfg *core.Config) { cfg.Rotate = r })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runAblation(name string, n int, opt Fig2Options, mutate func(*core.Config)) (*AblationRow, error) {
+	return runAblationCustom(name, n, opt, mutate, false)
+}
+
+func runAblationCustom(name string, n int, opt Fig2Options, mutate func(*core.Config), useUnicast bool) (*AblationRow, error) {
+	opt.fill()
+	placements := testbed.EnumeratePlacements(n)
+	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
+		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
+		var sub []testbed.Placement
+		for i := 0; i < len(placements); i += stride {
+			sub = append(sub, placements[i])
+		}
+		placements = sub
+	}
+	row := &AblationRow{Name: name, MinReliab: math.Inf(1)}
+	var rels []float64
+	var effSum float64
+	for i, pl := range placements {
+		cfg := core.Config{
+			XPerRound:    opt.XPerRound,
+			PayloadBytes: opt.PayloadBytes,
+			Rounds:       opt.Rounds,
+			Rotate:       true,
+			Terminals:    n,
+			Seed:         opt.Seed + int64(i)*7919,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		var res *core.SessionResult
+		var err error
+		if useUnicast {
+			// Build the medium the same way testbed.Experiment does, but
+			// run the unicast session.
+			res, err = runUnicastOnPlacement(pl, *opt.Channel, cfg, opt.Seed+int64(i)*104729+1)
+		} else {
+			ex := &testbed.Experiment{Placement: pl, Channel: *opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
+			res, err = ex.Run()
+		}
+		if err != nil {
+			return nil, err
+		}
+		effSum += res.Efficiency
+		if math.IsNaN(res.Reliability) {
+			row.NoSecretCount++
+			continue
+		}
+		rels = append(rels, res.Reliability)
+		if res.Reliability < row.MinReliab {
+			row.MinReliab = res.Reliability
+		}
+	}
+	row.MeanEff = effSum / float64(len(placements))
+	if len(rels) > 0 {
+		sum := 0.0
+		for _, r := range rels {
+			sum += r
+		}
+		row.MeanReliab = sum / float64(len(rels))
+		row.P50Reliab = medianOf(rels)
+	} else {
+		row.MinReliab = math.NaN()
+		row.MeanReliab = math.NaN()
+		row.P50Reliab = math.NaN()
+	}
+	return row, nil
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp)%2 == 1 {
+		return cp[len(cp)/2]
+	}
+	return (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+}
+
+func runUnicastOnPlacement(pl testbed.Placement, ch testbed.Channel, cfg core.Config, seed int64) (*core.SessionResult, error) {
+	n := len(pl.TerminalCells)
+	pos := make([]radio.Position, n+1)
+	cells := make([]testbed.Cell, n+1)
+	for i, c := range pl.TerminalCells {
+		pos[i] = c.Center()
+		cells[i] = c
+	}
+	pos[n] = pl.EveCell.Center()
+	cells[n] = pl.EveCell
+	base := &radio.DistanceModel{Pos: pos, Base: ch.Base, PerMeter: ch.PerMeter, Cap: ch.Cap}
+	jam := &radio.Jammer{
+		Base:      base,
+		CellOf:    func(id radio.NodeID) (int, int) { return cells[int(id)].RowCol() },
+		Schedule:  radio.AllPatterns(testbed.GridDim, testbed.GridDim),
+		JamPErase: ch.JamPErase,
+	}
+	med := radio.NewMedium(jam, n+1, seed)
+	return unicast.RunSession(cfg, med, []radio.NodeID{radio.NodeID(n)})
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — %s\n\n", title)
+	fmt.Fprintf(&b, "%-28s %10s %8s %8s %8s %9s\n", "configuration", "meanEff", "relMin", "relP50", "relAvg", "noSecret")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %10.4f %8.3f %8.3f %8.3f %9d\n",
+			r.Name, r.MeanEff, r.MinReliab, r.P50Reliab, r.MeanReliab, r.NoSecretCount)
+	}
+	return b.String()
+}
+
+// AblationSelfJam compares the three interference strategies of §3.3: the
+// dedicated WARP-style interferers of the deployment, the paper's
+// suggested terminal self-jamming, and no artificial interference at all.
+func AblationSelfJam(n int, opt Fig2Options) ([]AblationRow, error) {
+	opt.fill()
+	infra := *opt.Channel
+	self := infra
+	self.JamPErase = 0
+	self.SelfJam = true
+	none := infra
+	none.JamPErase = 0
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name string
+		ch   testbed.Channel
+	}{
+		{"interferers", infra},
+		{"self-jamming", self},
+		{"no-interference", none},
+	} {
+		o := opt
+		o.Channel = &tc.ch
+		row, err := runAblation(tc.name, n, o, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// AblationBurstiness stresses the budgeting assumption: the estimators
+// model Eve's misses as independent per packet, but real indoor channels
+// lose packets in bursts. Compare an iid channel against Gilbert-Elliott
+// channels with the SAME stationary loss but increasing burst lengths
+// (sessions on a symmetric medium, leave-one-out estimator).
+func AblationBurstiness(n, sessions int, seed int64) ([]AblationRow, error) {
+	type channel struct {
+		name  string
+		model func(s int64) radio.ErasureModel
+	}
+	const loss = 0.45
+	channels := []channel{
+		{"iid", func(s int64) radio.ErasureModel { return radio.Uniform{P: loss} }},
+		// pi_bad = 0.5 in both; burst length 1/PBadToGood.
+		{"bursty(len~5)", func(s int64) radio.ErasureModel {
+			return radio.NewGilbertElliott(0.05, 0.85, 0.2, 0.2, s)
+		}},
+		{"bursty(len~20)", func(s int64) radio.ErasureModel {
+			return radio.NewGilbertElliott(0.05, 0.85, 0.05, 0.05, s)
+		}},
+	}
+	var rows []AblationRow
+	for _, ch := range channels {
+		row := AblationRow{Name: ch.name, MinReliab: math.Inf(1)}
+		var rels []float64
+		var effSum float64
+		for s := 0; s < sessions; s++ {
+			med := radio.NewMedium(ch.model(seed+int64(s)*13), n+1, seed+int64(s)*7)
+			res, err := core.RunSession(core.Config{
+				Terminals: n, XPerRound: 90, PayloadBytes: 100,
+				Rounds: 3, Rotate: true, Seed: seed + int64(s)*29,
+				SlotsPerRound: 90, // every packet gets its own slot: bursts bite
+			}, med, []radio.NodeID{radio.NodeID(n)})
+			if err != nil {
+				return nil, err
+			}
+			effSum += res.Efficiency
+			if math.IsNaN(res.Reliability) {
+				row.NoSecretCount++
+				continue
+			}
+			rels = append(rels, res.Reliability)
+			if res.Reliability < row.MinReliab {
+				row.MinReliab = res.Reliability
+			}
+		}
+		row.MeanEff = effSum / float64(sessions)
+		if len(rels) > 0 {
+			sum := 0.0
+			for _, r := range rels {
+				sum += r
+			}
+			row.MeanReliab = sum / float64(len(rels))
+			row.P50Reliab = medianOf(rels)
+		} else {
+			row.MinReliab = math.NaN()
+			row.MeanReliab = math.NaN()
+			row.P50Reliab = math.NaN()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationCancellingEve reproduces the paper's §6 threat analysis: an Eve
+// whose antenna array cancels the artificial interference sees only the
+// bare distance channel. The rows compare a normal Eve and a cancelling
+// Eve under the leave-one-out estimator, plus the k-subset defense
+// (budgeting as if Eve were two terminals) against the cancelling Eve.
+func AblationCancellingEve(n int, opt Fig2Options) ([]AblationRow, error) {
+	opt.fill()
+	cases := []struct {
+		name    string
+		cancels bool
+		est     core.Estimator
+	}{
+		{"eve-normal/loo", false, core.LeaveOneOut{}},
+		{"eve-cancelling/loo", true, core.LeaveOneOut{}},
+		{"eve-cancelling/ksubset2", true, core.KSubset{K: 2}},
+	}
+	placements := testbed.EnumeratePlacements(n)
+	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
+		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
+		var sub []testbed.Placement
+		for i := 0; i < len(placements); i += stride {
+			sub = append(sub, placements[i])
+		}
+		placements = sub
+	}
+	var rows []AblationRow
+	for _, tc := range cases {
+		row := AblationRow{Name: tc.name, MinReliab: math.Inf(1)}
+		var rels []float64
+		var effSum float64
+		for i, pl := range placements {
+			ex := &testbed.Experiment{
+				Placement: pl,
+				Channel:   *opt.Channel,
+				Protocol: core.Config{
+					XPerRound: opt.XPerRound, PayloadBytes: opt.PayloadBytes,
+					Rounds: opt.Rounds, Rotate: true, Terminals: n,
+					Estimator: tc.est, Seed: opt.Seed + int64(i)*7919,
+				},
+				EveCancelsJamming: tc.cancels,
+				Seed:              opt.Seed + int64(i)*104729 + 1,
+			}
+			res, err := ex.Run()
+			if err != nil {
+				return nil, err
+			}
+			effSum += res.Efficiency
+			if math.IsNaN(res.Reliability) {
+				row.NoSecretCount++
+				continue
+			}
+			rels = append(rels, res.Reliability)
+			if res.Reliability < row.MinReliab {
+				row.MinReliab = res.Reliability
+			}
+		}
+		row.MeanEff = effSum / float64(len(placements))
+		if len(rels) > 0 {
+			sum := 0.0
+			for _, r := range rels {
+				sum += r
+			}
+			row.MeanReliab = sum / float64(len(rels))
+			row.P50Reliab = medianOf(rels)
+		} else {
+			row.MinReliab = math.NaN()
+			row.MeanReliab = math.NaN()
+			row.P50Reliab = math.NaN()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,268 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure1ShapeClaims(t *testing.T) {
+	curves := Figure1([]int{2, 3, 6, 10, 0}, 20)
+	if len(curves) != 5 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	// n=2 group curve peaks at 0.25 near p=0.5.
+	var n2 Fig1Curve
+	for _, c := range curves {
+		if c.N == 2 {
+			n2 = c
+		}
+	}
+	peak := 0.0
+	for _, pt := range n2.Points {
+		if pt.Group > peak {
+			peak = pt.Group
+		}
+	}
+	if math.Abs(peak-0.25) > 1e-9 {
+		t.Fatalf("n=2 peak = %v", peak)
+	}
+	// Unicast vanishes for the infinite curve; group does not.
+	for _, c := range curves {
+		if c.N == 0 {
+			for _, pt := range c.Points {
+				if pt.Unicast != 0 {
+					t.Fatal("unicast inf curve nonzero")
+				}
+			}
+			mid := c.Points[10] // p = 0.5
+			if math.Abs(mid.Group-0.2) > 1e-9 {
+				t.Fatalf("group inf at 0.5 = %v", mid.Group)
+			}
+		}
+	}
+	s := FormatFigure1(curves)
+	if !strings.Contains(s, "Figure 1") || !strings.Contains(s, "grp(n=inf)") {
+		t.Fatalf("format missing pieces:\n%s", s)
+	}
+}
+
+func TestFigure1MonteCarloMatchesAnalytic(t *testing.T) {
+	pts := Figure1MonteCarlo([]int{2, 4}, []float64{0.3, 0.5}, 120, 6, 77)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Analytic <= 0 {
+			t.Fatalf("analytic = %v", pt.Analytic)
+		}
+		// Finite-N Monte Carlo vs fluid analytic: generous but meaningful
+		// tolerance. The min-over-terminals effect biases measured a bit
+		// below analytic.
+		ratio := pt.Measured / pt.Analytic
+		if ratio < 0.65 || ratio > 1.15 {
+			t.Fatalf("n=%d p=%v: measured/analytic = %v (measured %v, analytic %v)",
+				pt.N, pt.P, ratio, pt.Measured, pt.Analytic)
+		}
+	}
+	if s := FormatFigure1MC(pts); !strings.Contains(s, "cross-validation") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFigure2SmallSweep(t *testing.T) {
+	rows, err := Figure2(Fig2Options{
+		Ns: []int{3, 4}, XPerRound: 36, Rounds: 1, PayloadBytes: 8,
+		MaxPlacements: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].N != 3 || rows[1].N != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	s := FormatFigure2(rows)
+	if !strings.Contains(s, "Figure 2") || !strings.Contains(s, "minKbps") {
+		t.Fatalf("format broken:\n%s", s)
+	}
+}
+
+func TestHeadlineSmall(t *testing.T) {
+	h, err := Headline(Fig2Options{XPerRound: 36, Rounds: 1, PayloadBytes: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=8 has only 9 placements, so even the "small" run is the full set.
+	if h.Sweep.Experiments != 9 {
+		t.Fatalf("experiments = %d", h.Sweep.Experiments)
+	}
+	if h.MinEfficiency < 0 || h.MinKbps < 0 {
+		t.Fatal("negative metrics")
+	}
+	if s := FormatHeadline(h); !strings.Contains(s, "paper") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestRotationCheck(t *testing.T) {
+	opt := Fig2Options{XPerRound: 27, Rounds: 2, PayloadBytes: 8, MaxPlacements: 6, Seed: 9}
+	with, err := RotationCheck(3, true, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RotationCheck(3, false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.RoundsTotal == 0 || without.RoundsTotal == 0 {
+		t.Fatal("no rounds ran")
+	}
+	if s := FormatRotation(with, without); !strings.Contains(s, "rotation ON") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	opt := Fig2Options{XPerRound: 27, Rounds: 1, PayloadBytes: 8, MaxPlacements: 4, Seed: 13}
+	est, err := AblationEstimators(4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 5 || est[0].Name != "oracle" {
+		t.Fatalf("estimator rows: %+v", est)
+	}
+	// Oracle never leaks: min reliability 1 whenever a secret exists.
+	if est[0].NoSecretCount < len(est) && !math.IsNaN(est[0].MinReliab) && est[0].MinReliab != 1 {
+		t.Fatalf("oracle min reliability = %v", est[0].MinReliab)
+	}
+	alloc, err := AblationAllocation(4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc) != 4 || alloc[3].Name != "unicast-baseline" {
+		t.Fatalf("allocation rows: %+v", alloc)
+	}
+	intf, err := AblationInterference(4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intf) != 2 {
+		t.Fatal("interference rows")
+	}
+	rot, err := AblationRotation(4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rot) != 2 {
+		t.Fatal("rotation rows")
+	}
+	if s := FormatAblation("estimators", est); !strings.Contains(s, "oracle") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if m := medianOf([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := medianOf([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("median = %v", m)
+	}
+}
+
+func TestAblationSelfJam(t *testing.T) {
+	rows, err := AblationSelfJam(4, Fig2Options{
+		XPerRound: 27, Rounds: 1, PayloadBytes: 8, MaxPlacements: 4, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.MeanEff < 0 {
+			t.Fatalf("negative efficiency: %+v", r)
+		}
+	}
+	for _, want := range []string{"interferers", "self-jamming", "no-interference"} {
+		if !names[want] {
+			t.Fatalf("missing row %q", want)
+		}
+	}
+}
+
+func TestAblationBurstiness(t *testing.T) {
+	rows, err := AblationBurstiness(3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Name != "iid" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.NoSecretCount == 4 {
+			continue // all sessions empty: reliability columns are NaN
+		}
+		if r.P50Reliab < 0 || r.P50Reliab > 1 {
+			t.Fatalf("p50 out of range: %+v", r)
+		}
+	}
+}
+
+func TestPlot(t *testing.T) {
+	s := Plot("test", []Series{
+		{Label: "a", Mark: '*', X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}},
+		{Label: "b", Mark: 'o', X: []float64{0, 1, 2}, Y: []float64{1, 0.5, 0}},
+	}, 20, 8)
+	if !strings.Contains(s, "test") || !strings.Contains(s, "*=a") || !strings.Contains(s, "o=b") {
+		t.Fatalf("plot missing pieces:\n%s", s)
+	}
+	// Degenerate inputs must not panic or divide by zero.
+	if got := Plot("empty", nil, 20, 8); !strings.Contains(got, "no data") {
+		t.Fatalf("empty plot: %q", got)
+	}
+	one := Plot("point", []Series{{Label: "p", Mark: 'x', X: []float64{1}, Y: []float64{1}}}, 20, 8)
+	if !strings.Contains(one, "no data") {
+		t.Fatalf("single x-value should report no data (zero range): %q", one)
+	}
+	// NaNs are skipped.
+	nan := Plot("nan", []Series{{Label: "n", Mark: 'x', X: []float64{0, 1, math.NaN()}, Y: []float64{0, math.NaN(), 1}}}, 20, 8)
+	if strings.Contains(nan, "NaN") {
+		t.Fatal("NaN leaked into plot")
+	}
+}
+
+func TestPlotFigures(t *testing.T) {
+	curves := Figure1([]int{2, 6, 0}, 10)
+	if s := PlotFigure1(curves, 40, 10); !strings.Contains(s, "grp n=2") || !strings.Contains(s, "uni n=6") {
+		t.Fatalf("fig1 plot:\n%s", s)
+	}
+	rows, err := Figure2(Fig2Options{Ns: []int{3, 4}, XPerRound: 27, Rounds: 1, PayloadBytes: 8, MaxPlacements: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := PlotFigure2(rows, 30, 8); !strings.Contains(s, "p50") {
+		t.Fatalf("fig2 plot:\n%s", s)
+	}
+}
+
+func TestAblationCancellingEve(t *testing.T) {
+	rows, err := AblationCancellingEve(4, Fig2Options{
+		XPerRound: 36, Rounds: 2, PayloadBytes: 8, MaxPlacements: 6, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Name != "eve-normal/loo" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// A cancelling Eve must do at least as well as a normal Eve against
+	// the same estimator (strictly more information).
+	if !math.IsNaN(rows[0].MeanReliab) && !math.IsNaN(rows[1].MeanReliab) &&
+		rows[1].MeanReliab > rows[0].MeanReliab+1e-9 {
+		t.Fatalf("cancelling Eve did worse: %v vs %v", rows[1].MeanReliab, rows[0].MeanReliab)
+	}
+}

@@ -1,0 +1,125 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/testbed"
+)
+
+// Series is one curve of an ASCII plot.
+type Series struct {
+	Label string
+	Mark  rune
+	X, Y  []float64
+}
+
+// Plot renders series on a width x height character grid with axis
+// annotations — enough to eyeball the figures' shapes in a terminal.
+func Plot(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // anchor y at 0: these are rates/probabilities
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		return title + "\n(no data)\n"
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = s.Mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%7.3f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%7s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%7s  %-8.2f%s%8.2f\n", "", minX, strings.Repeat(" ", width-16), maxX)
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Mark, s.Label))
+	}
+	fmt.Fprintf(&b, "%7s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// PlotFigure1 renders the group (and optionally unicast) efficiency curves.
+func PlotFigure1(curves []Fig1Curve, width, height int) string {
+	marks := []rune{'*', 'o', '+', 'x', '#', '@', '%'}
+	var series []Series
+	for i, c := range curves {
+		label := "n=inf"
+		if c.N > 0 {
+			label = fmt.Sprintf("n=%d", c.N)
+		}
+		s := Series{Label: "grp " + label, Mark: marks[i%len(marks)]}
+		for _, pt := range c.Points {
+			s.X = append(s.X, pt.P)
+			s.Y = append(s.Y, pt.Group)
+		}
+		series = append(series, s)
+	}
+	// One unicast curve for contrast: the largest finite n present.
+	bestN, bestIdx := 0, -1
+	for i, c := range curves {
+		if c.N > bestN {
+			bestN, bestIdx = c.N, i
+		}
+	}
+	if bestIdx >= 0 {
+		s := Series{Label: fmt.Sprintf("uni n=%d", bestN), Mark: '.'}
+		for _, pt := range curves[bestIdx].Points {
+			s.X = append(s.X, pt.P)
+			s.Y = append(s.Y, pt.Unicast)
+		}
+		series = append(series, s)
+	}
+	return Plot("Figure 1 — efficiency vs erasure probability", series, width, height)
+}
+
+// PlotFigure2 renders the reliability summary series against group size.
+func PlotFigure2(rows []*testbed.SweepResult, width, height int) string {
+	min := Series{Label: "min", Mark: 'v'}
+	p95 := Series{Label: "p95", Mark: '^'}
+	avg := Series{Label: "avg", Mark: 'o'}
+	p50 := Series{Label: "p50", Mark: '#'}
+	for _, r := range rows {
+		x := float64(r.N)
+		min.X, min.Y = append(min.X, x), append(min.Y, r.Reliability.Min)
+		p95.X, p95.Y = append(p95.X, x), append(p95.Y, r.Reliability.P95)
+		avg.X, avg.Y = append(avg.X, x), append(avg.Y, r.Reliability.Mean)
+		p50.X, p50.Y = append(p50.X, x), append(p50.Y, r.Reliability.P50)
+	}
+	return Plot("Figure 2 — reliability vs number of terminals", []Series{min, p95, avg, p50}, width, height)
+}

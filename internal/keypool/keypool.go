@@ -1,0 +1,136 @@
+// Package keypool manages the key material the protocol produces: a
+// thread-safe byte pool that banks session secrets and dispenses
+// never-reused one-time keys, with optional automatic refill — the
+// "continuously refresh the key used to encrypt their communication"
+// usage the paper's introduction motivates.
+//
+// Dispensed bytes are copied out and the pool's own copy is zeroized, so
+// a later memory disclosure of the pool cannot recover past keys.
+package keypool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrExhausted is returned when the pool cannot satisfy a draw.
+var ErrExhausted = errors.New("keypool: insufficient key material")
+
+// RefillFunc produces more secret bytes (typically by running a protocol
+// session). It is invoked synchronously while the pool lock is NOT held.
+type RefillFunc func() ([]byte, error)
+
+// Pool banks secret bytes and dispenses one-time keys.
+type Pool struct {
+	mu  sync.Mutex
+	buf []byte
+
+	refill    RefillFunc
+	lowWater  int
+	deposited int64
+	drawn     int64
+}
+
+// New returns an empty pool without automatic refill.
+func New() *Pool { return &Pool{} }
+
+// NewWithRefill returns a pool that invokes refill whenever a draw would
+// leave fewer than lowWater bytes available (and keeps invoking it until
+// either the draw is satisfiable or refill errors).
+func NewWithRefill(refill RefillFunc, lowWater int) *Pool {
+	return &Pool{refill: refill, lowWater: lowWater}
+}
+
+// Deposit adds secret bytes to the pool. The input is copied; callers may
+// zeroize their copy afterwards.
+func (p *Pool) Deposit(secret []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = append(p.buf, secret...)
+	p.deposited += int64(len(secret))
+}
+
+// Available returns the number of unconsumed bytes.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+// Stats returns lifetime deposited and drawn byte counts.
+func (p *Pool) Stats() (deposited, drawn int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deposited, p.drawn
+}
+
+// Draw removes and returns n bytes of key material. Bytes are never
+// reused: the pool's copy is zeroized before the region is released. With
+// a RefillFunc configured, Draw refills until n (+ the low watermark) is
+// covered; otherwise it fails with ErrExhausted when the pool is short.
+func (p *Pool) Draw(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("keypool: negative draw %d", n)
+	}
+	for {
+		p.mu.Lock()
+		if len(p.buf) >= n {
+			out := make([]byte, n)
+			copy(out, p.buf[:n])
+			zero(p.buf[:n])
+			p.buf = p.buf[n:]
+			p.drawn += int64(n)
+			low := p.refill != nil && len(p.buf) < p.lowWater
+			p.mu.Unlock()
+			if low {
+				// Best-effort top-up; the draw already succeeded.
+				_ = p.tryRefill()
+			}
+			return out, nil
+		}
+		p.mu.Unlock()
+		if p.refill == nil {
+			return nil, fmt.Errorf("%w: want %d, have %d", ErrExhausted, n, p.Available())
+		}
+		if err := p.tryRefill(); err != nil {
+			return nil, fmt.Errorf("keypool: refill: %w", err)
+		}
+	}
+}
+
+// tryRefill invokes the refill function once and deposits its output.
+func (p *Pool) tryRefill() error {
+	secret, err := p.refill()
+	if err != nil {
+		return err
+	}
+	if len(secret) == 0 {
+		return errors.New("keypool: refill produced no key material")
+	}
+	p.Deposit(secret)
+	zero(secret)
+	return nil
+}
+
+// DrawPad is Draw specialized for one-time-pad use: it returns a pad of
+// exactly len(plain) bytes and the XOR of plain with it, consuming the
+// pad from the pool. Decryption is XOR with the same pad, so peers
+// drawing from pools fed identical session secrets stay in sync.
+func (p *Pool) DrawPad(plain []byte) (pad, cipher []byte, err error) {
+	pad, err = p.Draw(len(plain))
+	if err != nil {
+		return nil, nil, err
+	}
+	cipher = make([]byte, len(plain))
+	for i := range plain {
+		cipher[i] = plain[i] ^ pad[i]
+	}
+	return pad, cipher, nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,165 @@
+package keypool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDepositAndDraw(t *testing.T) {
+	p := New()
+	p.Deposit([]byte{1, 2, 3, 4, 5})
+	if p.Available() != 5 {
+		t.Fatalf("available = %d", p.Available())
+	}
+	k, err := p.Draw(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k, []byte{1, 2, 3}) {
+		t.Fatalf("key = %v", k)
+	}
+	if p.Available() != 2 {
+		t.Fatalf("available = %d", p.Available())
+	}
+	dep, drawn := p.Stats()
+	if dep != 5 || drawn != 3 {
+		t.Fatalf("stats = %d/%d", dep, drawn)
+	}
+}
+
+func TestDrawExhausted(t *testing.T) {
+	p := New()
+	p.Deposit([]byte{1})
+	if _, err := p.Draw(2); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Draw(-1); err == nil {
+		t.Fatal("negative draw accepted")
+	}
+	// Zero draw always succeeds.
+	if k, err := p.Draw(0); err != nil || len(k) != 0 {
+		t.Fatalf("zero draw: %v %v", k, err)
+	}
+}
+
+func TestDepositCopies(t *testing.T) {
+	p := New()
+	src := []byte{9, 9}
+	p.Deposit(src)
+	src[0] = 1
+	k, _ := p.Draw(2)
+	if k[0] != 9 {
+		t.Fatal("pool aliased depositor's buffer")
+	}
+}
+
+func TestKeysNeverReused(t *testing.T) {
+	p := New()
+	p.Deposit([]byte{1, 2, 3, 4})
+	a, _ := p.Draw(2)
+	b, _ := p.Draw(2)
+	if bytes.Equal(a, b) {
+		t.Fatal("same key dispensed twice")
+	}
+}
+
+func TestAutoRefill(t *testing.T) {
+	calls := 0
+	p := NewWithRefill(func() ([]byte, error) {
+		calls++
+		return []byte{byte(calls), byte(calls), byte(calls), byte(calls)}, nil
+	}, 2)
+	// Pool starts empty: the first draw must trigger refills.
+	k, err := p.Draw(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k) != 6 || calls < 2 {
+		t.Fatalf("k=%v calls=%d", k, calls)
+	}
+	// Never reuse across refills: bytes come in deposit order.
+	if !bytes.Equal(k, []byte{1, 1, 1, 1, 2, 2}) {
+		t.Fatalf("k = %v", k)
+	}
+}
+
+func TestRefillError(t *testing.T) {
+	boom := fmt.Errorf("radio down")
+	p := NewWithRefill(func() ([]byte, error) { return nil, boom }, 0)
+	if _, err := p.Draw(1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	empty := NewWithRefill(func() ([]byte, error) { return nil, nil }, 0)
+	if _, err := empty.Draw(1); err == nil {
+		t.Fatal("empty refill accepted")
+	}
+}
+
+func TestDrawPad(t *testing.T) {
+	p := New()
+	p.Deposit([]byte{0xAA, 0xBB, 0xCC})
+	plain := []byte{1, 2, 3}
+	pad, ct, err := p.DrawPad(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if ct[i] != plain[i]^pad[i] {
+			t.Fatal("cipher wrong")
+		}
+	}
+	// Decrypt with the pad.
+	for i := range ct {
+		ct[i] ^= pad[i]
+	}
+	if !bytes.Equal(ct, plain) {
+		t.Fatal("decrypt wrong")
+	}
+	if _, _, err := p.DrawPad([]byte{1}); !errors.Is(err, ErrExhausted) {
+		t.Fatal("pad overdraw accepted")
+	}
+}
+
+func TestConcurrentDraws(t *testing.T) {
+	p := New()
+	material := make([]byte, 64*32)
+	for i := range material {
+		material[i] = byte(i)
+	}
+	// byte(i) is periodic with period 256 (8 chunks); stamp each 32-byte
+	// chunk with its index so all chunks are distinct.
+	for c := 0; c < 64; c++ {
+		material[c*32] = byte(c)
+		material[c*32+1] = byte(c >> 8)
+	}
+	p.Deposit(material)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				k, err := p.Draw(32)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[string(k)] {
+					t.Error("duplicate key under concurrency")
+				}
+				seen[string(k)] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 0 {
+		t.Fatalf("leftover %d", p.Available())
+	}
+}

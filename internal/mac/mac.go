@@ -1,0 +1,118 @@
+// Package mac models the 802.11-style medium-access timing of the paper's
+// deployment ("Asus WL-500gP wireless routers running 802.11g … when a
+// terminal transmits, it sends 100-byte packets at 1 Mbps"), so that
+// secret rates can be derived from actual channel time rather than a bare
+// bits/rate division.
+//
+// The model follows 802.11 DSSS timing at 1 Mbps with long preambles: a
+// frame costs DIFS + mean backoff + PLCP preamble/header + (MAC header +
+// payload) at the data rate; a reliably-delivered frame additionally costs
+// one SIFS + ACK exchange per intended receiver (the paper's reliable
+// broadcast is built from acknowledgments and retransmissions — we charge
+// the acknowledgment round even when no retransmission is needed, which
+// is the lossless lower bound).
+package mac
+
+import "time"
+
+// 802.11 DSSS timing constants (1 and 2 Mbps PHY).
+const (
+	// SlotTime is the 802.11b/g (long slot) slot duration.
+	SlotTime = 20 * time.Microsecond
+	// SIFS separates a data frame from its acknowledgment.
+	SIFS = 10 * time.Microsecond
+	// DIFS is the idle period before a transmission (SIFS + 2 slots).
+	DIFS = SIFS + 2*SlotTime
+	// PLCPLongPreamble is the long PLCP preamble + header, always sent at
+	// 1 Mbps.
+	PLCPLongPreamble = 192 * time.Microsecond
+	// CWMin is the minimum contention window (802.11b): the mean backoff
+	// with no contention is CWMin/2 slots.
+	CWMin = 31
+	// MACOverheadBytes is the data MAC header (24) plus FCS (4).
+	MACOverheadBytes = 28
+	// ACKBytes is an ACK control frame.
+	ACKBytes = 14
+)
+
+// meanBackoff is the expected backoff with an idle channel: CWMin/2
+// slots (15.5 slots of 20µs = 310µs).
+const meanBackoff = CWMin * SlotTime / 2
+
+// Model computes airtime at a configured PHY rate.
+type Model struct {
+	// RateBps is the data rate (the paper's experiments use 1 Mbps).
+	RateBps float64
+}
+
+// Default returns the paper's 1 Mbps configuration.
+func Default() Model { return Model{RateBps: 1e6} }
+
+// payloadTime is the serialization time of n bytes at the data rate.
+func (m Model) payloadTime(n int) time.Duration {
+	return time.Duration(float64(n*8) / m.RateBps * float64(time.Second))
+}
+
+// FrameAirtime is the on-air duration of a single data frame carrying
+// payloadBytes (channel access + preamble + MAC framing + payload).
+func (m Model) FrameAirtime(payloadBytes int) time.Duration {
+	return DIFS + meanBackoff + PLCPLongPreamble + m.payloadTime(MACOverheadBytes+payloadBytes)
+}
+
+// AckAirtime is the SIFS + ACK exchange for one receiver.
+func (m Model) AckAirtime() time.Duration {
+	return SIFS + PLCPLongPreamble + m.payloadTime(ACKBytes)
+}
+
+// BroadcastAirtime is one unreliable broadcast (no acknowledgments —
+// 802.11 broadcasts are unacknowledged).
+func (m Model) BroadcastAirtime(payloadBytes int) time.Duration {
+	return m.FrameAirtime(payloadBytes)
+}
+
+// ReliableAirtime is one reliably-delivered broadcast to `receivers`
+// nodes: the frame plus one acknowledgment exchange per receiver
+// (lossless lower bound; retransmissions would add further frames).
+func (m Model) ReliableAirtime(payloadBytes, receivers int) time.Duration {
+	if receivers < 0 {
+		receivers = 0
+	}
+	return m.FrameAirtime(payloadBytes) + time.Duration(receivers)*m.AckAirtime()
+}
+
+// Accountant accumulates the airtime of a protocol session.
+type Accountant struct {
+	model   Model
+	airtime time.Duration
+	frames  int
+}
+
+// NewAccountant creates an accountant for the given model.
+func NewAccountant(model Model) *Accountant { return &Accountant{model: model} }
+
+// Data charges one unreliable broadcast.
+func (a *Accountant) Data(payloadBytes int) {
+	a.airtime += a.model.BroadcastAirtime(payloadBytes)
+	a.frames++
+}
+
+// Reliable charges one reliable broadcast to the given receiver count.
+func (a *Accountant) Reliable(payloadBytes, receivers int) {
+	a.airtime += a.model.ReliableAirtime(payloadBytes, receivers)
+	a.frames++
+}
+
+// Airtime returns the accumulated channel time.
+func (a *Accountant) Airtime() time.Duration { return a.airtime }
+
+// Frames returns the number of frames charged.
+func (a *Accountant) Frames() int { return a.frames }
+
+// SecretRateKbps converts a secret size and an airtime into the secret
+// generation rate the paper reports.
+func SecretRateKbps(secretBits int64, airtime time.Duration) float64 {
+	if airtime <= 0 {
+		return 0
+	}
+	return float64(secretBits) / airtime.Seconds() / 1000
+}

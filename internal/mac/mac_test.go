@@ -1,0 +1,78 @@
+package mac
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFrameAirtime(t *testing.T) {
+	m := Default()
+	// 100-byte payload at 1 Mbps: DIFS(50µs) + backoff(310µs) +
+	// preamble(192µs) + (28+100)*8 bits @1Mbps = 1024µs -> 1576µs.
+	got := m.FrameAirtime(100)
+	want := 1576 * time.Microsecond
+	if got != want {
+		t.Fatalf("FrameAirtime(100) = %v, want %v", got, want)
+	}
+	// Monotone in payload.
+	if m.FrameAirtime(200) <= got {
+		t.Fatal("airtime not monotone in payload")
+	}
+}
+
+func TestAckAndReliable(t *testing.T) {
+	m := Default()
+	ack := m.AckAirtime()
+	// SIFS(10µs) + preamble(192µs) + 14*8 bits = 112µs -> 314µs.
+	if ack != 314*time.Microsecond {
+		t.Fatalf("AckAirtime = %v", ack)
+	}
+	if m.ReliableAirtime(100, 0) != m.FrameAirtime(100) {
+		t.Fatal("zero receivers should cost a bare frame")
+	}
+	if m.ReliableAirtime(100, 3) != m.FrameAirtime(100)+3*ack {
+		t.Fatal("per-receiver ack accounting wrong")
+	}
+	if m.ReliableAirtime(100, -1) != m.FrameAirtime(100) {
+		t.Fatal("negative receivers should clamp")
+	}
+	if m.BroadcastAirtime(100) != m.FrameAirtime(100) {
+		t.Fatal("broadcasts are unacknowledged")
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant(Default())
+	a.Data(100)
+	a.Data(100)
+	a.Reliable(40, 2)
+	if a.Frames() != 3 {
+		t.Fatalf("frames = %d", a.Frames())
+	}
+	want := 2*Default().BroadcastAirtime(100) + Default().ReliableAirtime(40, 2)
+	if a.Airtime() != want {
+		t.Fatalf("airtime = %v, want %v", a.Airtime(), want)
+	}
+}
+
+func TestSecretRateKbps(t *testing.T) {
+	// 38,000 bits in one second = 38 kbps (the paper's headline shape).
+	if got := SecretRateKbps(38000, time.Second); got != 38 {
+		t.Fatalf("rate = %v", got)
+	}
+	if SecretRateKbps(100, 0) != 0 {
+		t.Fatal("zero airtime should not divide")
+	}
+}
+
+func TestRateScaling(t *testing.T) {
+	fast := Model{RateBps: 11e6}
+	slow := Default()
+	if fast.FrameAirtime(1000) >= slow.FrameAirtime(1000) {
+		t.Fatal("higher rate should shorten frames")
+	}
+	// Fixed overheads (preamble, DIFS) do not scale with rate.
+	if fast.FrameAirtime(0) < DIFS+PLCPLongPreamble {
+		t.Fatal("fixed overhead missing")
+	}
+}

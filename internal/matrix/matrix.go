@@ -1,0 +1,410 @@
+// Package matrix provides dense matrices over GF(2^8) / GF(2^16) together
+// with the Gaussian-elimination routines the protocol needs: rank, inverse,
+// multi-RHS solving, and row-space membership (the eavesdropper's attack).
+//
+// Matrices are row-major and mutable; the elimination routines operate on
+// private copies unless the method name says otherwise. All operations
+// panic on dimension mismatches (a programming error), and return errors
+// for data-dependent failures such as singular systems.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/gf"
+)
+
+// Matrix is a dense rows x cols matrix over the field f.
+type Matrix[E gf.Elem] struct {
+	f    *gf.Field[E]
+	rows int
+	cols int
+	d    []E // row-major, len rows*cols
+}
+
+// New returns a zero rows x cols matrix over field f.
+func New[E gf.Elem](f *gf.Field[E], rows, cols int) *Matrix[E] {
+	if rows < 0 || cols < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Matrix[E]{f: f, rows: rows, cols: cols, d: make([]E, rows*cols)}
+}
+
+// FromRows builds a matrix from the given rows, which must all have equal
+// length. The rows are copied.
+func FromRows[E gf.Elem](f *gf.Field[E], rows [][]E) *Matrix[E] {
+	if len(rows) == 0 {
+		return New(f, 0, 0)
+	}
+	m := New(f, len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity[E gf.Elem](f *gf.Field[E], n int) *Matrix[E] {
+	m := New(f, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Field returns the field the matrix is defined over.
+func (m *Matrix[E]) Field() *gf.Field[E] { return m.f }
+
+// Rows returns the number of rows.
+func (m *Matrix[E]) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix[E]) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix[E]) At(i, j int) E { return m.d[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix[E]) Set(i, j int, v E) { m.d[i*m.cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix[E]) Row(i int) []E { return m.d[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix[E]) Clone() *Matrix[E] {
+	c := New(m.f, m.rows, m.cols)
+	copy(c.d, m.d)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix[E]) Equal(o *Matrix[E]) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.d {
+		if m.d[i] != o.d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns m * o.
+func (m *Matrix[E]) Mul(o *Matrix[E]) *Matrix[E] {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d * %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := New(m.f, m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		ri := m.Row(i)
+		oi := out.Row(i)
+		for k, c := range ri {
+			if c != 0 {
+				m.f.AddMulSlice(oi, o.Row(k), c)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v for a column vector v of length Cols.
+func (m *Matrix[E]) MulVec(v []E) []E {
+	if m.cols != len(v) {
+		panic("matrix: MulVec length mismatch")
+	}
+	out := make([]E, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.f.Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix[E]) Transpose() *Matrix[E] {
+	t := New(m.f, m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Stack returns the vertical concatenation [a; b]. Both operands are
+// copied; a and b must have the same column count.
+func Stack[E gf.Elem](a, b *Matrix[E]) *Matrix[E] {
+	if a.cols != b.cols {
+		panic("matrix: Stack column mismatch")
+	}
+	s := New(a.f, a.rows+b.rows, a.cols)
+	copy(s.d[:len(a.d)], a.d)
+	copy(s.d[len(a.d):], b.d)
+	return s
+}
+
+// SubRows returns a new matrix consisting of the listed rows of m, in order.
+func (m *Matrix[E]) SubRows(idx []int) *Matrix[E] {
+	s := New(m.f, len(idx), m.cols)
+	for k, i := range idx {
+		copy(s.Row(k), m.Row(i))
+	}
+	return s
+}
+
+// SubCols returns a new matrix consisting of the listed columns of m, in order.
+func (m *Matrix[E]) SubCols(idx []int) *Matrix[E] {
+	s := New(m.f, m.rows, len(idx))
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		dst := s.Row(i)
+		for k, j := range idx {
+			dst[k] = src[j]
+		}
+	}
+	return s
+}
+
+// String renders small matrices for debugging and test failure messages.
+func (m *Matrix[E]) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d over %s\n", m.rows, m.cols, m.f.Name())
+	for i := 0; i < m.rows; i++ {
+		fmt.Fprintf(&b, "  %v\n", m.Row(i))
+	}
+	return b.String()
+}
+
+// Errors returned by the elimination routines.
+var (
+	// ErrSingular is returned when a square system has no unique solution.
+	ErrSingular = errors.New("matrix: singular system")
+	// ErrInconsistent is returned when an overdetermined system has no
+	// solution at all.
+	ErrInconsistent = errors.New("matrix: inconsistent system")
+	// ErrUnderdetermined is returned when a system has free variables.
+	ErrUnderdetermined = errors.New("matrix: underdetermined system")
+)
+
+// Rank returns the rank of m. m is not modified.
+func (m *Matrix[E]) Rank() int {
+	w := m.Clone()
+	return w.echelon()
+}
+
+// echelon reduces the receiver to row echelon form in place and returns its
+// rank.
+func (m *Matrix[E]) echelon() int {
+	f := m.f
+	r := 0
+	for c := 0; c < m.cols && r < m.rows; c++ {
+		// Find a pivot in column c at or below row r.
+		p := -1
+		for i := r; i < m.rows; i++ {
+			if m.At(i, c) != 0 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		m.swapRows(r, p)
+		pivInv := f.Inv(m.At(r, c))
+		f.MulSlice(m.Row(r)[c:], pivInv)
+		for i := r + 1; i < m.rows; i++ {
+			if v := m.At(i, c); v != 0 {
+				f.AddMulSlice(m.Row(i)[c:], m.Row(r)[c:], v)
+			}
+		}
+		r++
+	}
+	return r
+}
+
+func (m *Matrix[E]) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func (m *Matrix[E]) Inverse() (*Matrix[E], error) {
+	if m.rows != m.cols {
+		panic("matrix: Inverse of non-square matrix")
+	}
+	n := m.rows
+	// Standard Gauss-Jordan on the augmented matrix [m | I].
+	aug := New(m.f, n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(aug.Row(i)[:n], m.Row(i))
+		aug.Set(i, n+i, 1)
+	}
+	f := m.f
+	for c := 0; c < n; c++ {
+		p := -1
+		for i := c; i < n; i++ {
+			if aug.At(i, c) != 0 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			return nil, ErrSingular
+		}
+		aug.swapRows(c, p)
+		f.MulSlice(aug.Row(c), f.Inv(aug.At(c, c)))
+		for i := 0; i < n; i++ {
+			if i != c {
+				if v := aug.At(i, c); v != 0 {
+					f.AddMulSlice(aug.Row(i), aug.Row(c), v)
+				}
+			}
+		}
+	}
+	inv := New(m.f, n, n)
+	for i := 0; i < n; i++ {
+		copy(inv.Row(i), aug.Row(i)[n:])
+	}
+	return inv, nil
+}
+
+// Solve finds X with A*X = B, where A is rows x cols with full column rank
+// and B has the same row count as A. It returns ErrUnderdetermined if A has
+// rank below its column count and ErrInconsistent if no solution exists.
+// Neither operand is modified.
+func Solve[E gf.Elem](a, b *Matrix[E]) (*Matrix[E], error) {
+	if a.rows != b.rows {
+		panic("matrix: Solve row mismatch")
+	}
+	f := a.f
+	n, k := a.rows, a.cols
+	aug := New(f, n, k+b.cols)
+	for i := 0; i < n; i++ {
+		copy(aug.Row(i)[:k], a.Row(i))
+		copy(aug.Row(i)[k:], b.Row(i))
+	}
+	// Forward elimination restricted to the first k columns.
+	r := 0
+	pivCols := make([]int, 0, k)
+	for c := 0; c < k && r < n; c++ {
+		p := -1
+		for i := r; i < n; i++ {
+			if aug.At(i, c) != 0 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		aug.swapRows(r, p)
+		f.MulSlice(aug.Row(r)[c:], f.Inv(aug.At(r, c)))
+		for i := 0; i < n; i++ {
+			if i != r {
+				if v := aug.At(i, c); v != 0 {
+					f.AddMulSlice(aug.Row(i)[c:], aug.Row(r)[c:], v)
+				}
+			}
+		}
+		pivCols = append(pivCols, c)
+		r++
+	}
+	if r < k {
+		return nil, ErrUnderdetermined
+	}
+	// Any leftover row with a nonzero RHS is an inconsistency.
+	for i := r; i < n; i++ {
+		for _, v := range aug.Row(i)[k:] {
+			if v != 0 {
+				return nil, ErrInconsistent
+			}
+		}
+	}
+	x := New(f, k, b.cols)
+	for ri, c := range pivCols {
+		copy(x.Row(c), aug.Row(ri)[k:])
+	}
+	return x, nil
+}
+
+// SolveLeft finds the row vector c with c*A = v, i.e. expresses v as a
+// linear combination of the rows of A. This is the eavesdropper's primitive:
+// if a secret combination lies in the row space of her knowledge matrix she
+// can reproduce its contents. Returns ErrInconsistent when v is not in the
+// row space, ErrUnderdetermined when the combination is not unique (the
+// caller usually only cares about membership, so any solution would do, but
+// we surface the condition instead of picking silently).
+func SolveLeft[E gf.Elem](a *Matrix[E], v []E) ([]E, error) {
+	if len(v) != a.cols {
+		panic("matrix: SolveLeft length mismatch")
+	}
+	at := a.Transpose()
+	rhs := New(a.f, len(v), 1)
+	for i, x := range v {
+		rhs.Set(i, 0, x)
+	}
+	x, err := Solve(at, rhs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]E, a.rows)
+	for i := range out {
+		out[i] = x.At(i, 0)
+	}
+	return out, nil
+}
+
+// InRowSpace reports whether v lies in the row space of a. Unlike
+// SolveLeft it treats a non-unique combination as membership.
+func InRowSpace[E gf.Elem](a *Matrix[E], v []E) bool {
+	if len(v) != a.cols {
+		panic("matrix: InRowSpace length mismatch")
+	}
+	w := New(a.f, a.rows+1, a.cols)
+	copy(w.d, a.d)
+	copy(w.Row(a.rows), v)
+	return w.echelon() == a.Rank()
+}
+
+// Det returns the determinant via Gaussian elimination. In characteristic
+// 2 row swaps do not flip the sign, so no parity tracking is needed.
+func (m *Matrix[E]) Det() E {
+	if m.rows != m.cols {
+		panic("matrix: Det of non-square matrix")
+	}
+	w := m.Clone()
+	f := m.f
+	det := E(1)
+	for c := 0; c < w.cols; c++ {
+		p := -1
+		for i := c; i < w.rows; i++ {
+			if w.At(i, c) != 0 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			return 0
+		}
+		w.swapRows(c, p)
+		piv := w.At(c, c)
+		det = f.Mul(det, piv)
+		inv := f.Inv(piv)
+		for i := c + 1; i < w.rows; i++ {
+			if v := w.At(i, c); v != 0 {
+				f.AddMulSlice(w.Row(i)[c:], w.Row(c)[c:], f.Mul(v, inv))
+			}
+		}
+	}
+	return det
+}

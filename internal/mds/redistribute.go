@@ -1,0 +1,161 @@
+package mds
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/matrix"
+)
+
+// RedistributionCode implements Phase 2 of the protocol in one object.
+//
+// Given M y-packets of which terminal T_i can reconstruct M_i >= L, the
+// leader draws an invertible M x M Cauchy matrix Q and splits it:
+//
+//   - the first M-L rows are the z-packet coefficients; the z *contents*
+//     Z = Q_z * Y are reliably broadcast so each terminal can complete its
+//     missing y-packets (any terminal is short at most M-L packets, and
+//     every square submatrix of Q_z is invertible, so its equations always
+//     solve);
+//   - the last L rows are the s-packet coefficients; only the coefficients
+//     are broadcast, and S = Q_s * Y is the group secret.
+//
+// Because Q is invertible, (Z, S) is a bijection of Y: if the y-packets
+// were uniform to Eve, then S remains uniform to Eve even though she
+// overhears Z. This is the paper's Phase-2 key point ("redistributes but
+// does not increase the secret information").
+type RedistributionCode[E gf.Elem] struct {
+	f *gf.Field[E]
+	m int
+	l int
+	q *matrix.Matrix[E]
+}
+
+// NewRedistributionCode builds the code for M y-packets and a group secret
+// of L packets, 0 <= L <= M.
+func NewRedistributionCode[E gf.Elem](f *gf.Field[E], m, l int) *RedistributionCode[E] {
+	if l < 0 || l > m {
+		panic(fmt.Sprintf("mds: redistribution L=%d out of range for M=%d", l, m))
+	}
+	return &RedistributionCode[E]{f: f, m: m, l: l, q: matrix.Cauchy(f, m, m)}
+}
+
+// M returns the total number of y-packets.
+func (r *RedistributionCode[E]) M() int { return r.m }
+
+// L returns the group secret size in packets.
+func (r *RedistributionCode[E]) L() int { return r.l }
+
+// ZCoeffs returns the (M-L) x M z-packet coefficient matrix.
+func (r *RedistributionCode[E]) ZCoeffs() *matrix.Matrix[E] {
+	return r.q.SubRows(seq(0, r.m-r.l))
+}
+
+// SCoeffs returns the L x M s-packet coefficient matrix.
+func (r *RedistributionCode[E]) SCoeffs() *matrix.Matrix[E] {
+	return r.q.SubRows(seq(r.m-r.l, r.m))
+}
+
+// EncodeZ computes the z-packet contents from the full y-packet set.
+func (r *RedistributionCode[E]) EncodeZ(y [][]E) [][]E {
+	if len(y) != r.m {
+		panic("mds: EncodeZ y count mismatch")
+	}
+	return MatrixToRows(r.ZCoeffs().Mul(RowsToMatrix(r.f, y)))
+}
+
+// EncodeS computes the s-packet contents (the group secret) from the full
+// y-packet set.
+func (r *RedistributionCode[E]) EncodeS(y [][]E) [][]E {
+	if len(y) != r.m {
+		panic("mds: EncodeS y count mismatch")
+	}
+	return MatrixToRows(r.SCoeffs().Mul(RowsToMatrix(r.f, y)))
+}
+
+// CompleteY recovers the full y-packet set for a terminal that knows the
+// y-packets in `known` (index -> payload) plus all z contents. It fails
+// with an error if the terminal knows fewer than L y-packets (more unknowns
+// than z equations), which the protocol prevents by setting L = min M_i.
+func (r *RedistributionCode[E]) CompleteY(known map[int][]E, z [][]E) ([][]E, error) {
+	if len(z) != r.m-r.l {
+		return nil, fmt.Errorf("mds: CompleteY expects %d z-packets, got %d", r.m-r.l, len(z))
+	}
+	coeffs := MatrixToRows(r.ZCoeffs())
+	return CompleteFromEquations(r.f, r.m, known, coeffs, z)
+}
+
+// CompleteFromEquations solves the general "fill in the missing packets"
+// problem from explicit linear equations: the caller knows some of m
+// packets (known: index -> payload) and observes extra equations
+// eq[j]: coeffs[j] * packets = payloads[j]. It returns the full packet set
+// or an error when the system does not determine the unknowns.
+//
+// The terminal side of Phase 2 uses this directly on the coefficient rows
+// it heard on the wire, so decoding never assumes the leader used any
+// particular matrix construction.
+func CompleteFromEquations[E gf.Elem](f *gf.Field[E], m int, known map[int][]E, coeffs, payloads [][]E) ([][]E, error) {
+	if len(coeffs) != len(payloads) {
+		return nil, fmt.Errorf("mds: %d coefficient rows but %d payloads", len(coeffs), len(payloads))
+	}
+	var unknown []int
+	for i := 0; i < m; i++ {
+		if _, ok := known[i]; !ok {
+			unknown = append(unknown, i)
+		}
+	}
+	if len(unknown) == 0 {
+		out := make([][]E, m)
+		for i := 0; i < m; i++ {
+			out[i] = append([]E(nil), known[i]...)
+		}
+		return out, nil
+	}
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("mds: %d unknown packets but no equations", len(unknown))
+	}
+	width := len(payloads[0])
+	cm := matrix.New(f, len(coeffs), m)
+	rhs := matrix.New(f, len(coeffs), width)
+	for j := range coeffs {
+		if len(coeffs[j]) != m {
+			return nil, fmt.Errorf("mds: equation %d has %d coefficients, want %d", j, len(coeffs[j]), m)
+		}
+		if len(payloads[j]) != width {
+			return nil, fmt.Errorf("mds: ragged equation payloads")
+		}
+		copy(cm.Row(j), coeffs[j])
+		copy(rhs.Row(j), payloads[j])
+		// Move known packets to the right-hand side.
+		for i, payload := range known {
+			if c := cm.At(j, i); c != 0 {
+				if len(payload) != width {
+					return nil, fmt.Errorf("mds: ragged known payloads")
+				}
+				f.AddMulSlice(rhs.Row(j), payload, c)
+			}
+		}
+	}
+	sub := cm.SubCols(unknown)
+	x, err := matrix.Solve(sub, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mds: complete: %w", err)
+	}
+	out := make([][]E, m)
+	for i, payload := range known {
+		out[i] = append([]E(nil), payload...)
+	}
+	for k, i := range unknown {
+		out[i] = append([]E(nil), x.Row(k)...)
+	}
+	return out, nil
+}
+
+// seq returns [lo, hi) as a slice.
+func seq(lo, hi int) []int {
+	s := make([]int, hi-lo)
+	for i := range s {
+		s[i] = lo + i
+	}
+	return s
+}

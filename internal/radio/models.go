@@ -1,0 +1,155 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// SelfJam implements the paper's §3.3 suggestion that "ultimately, the
+// terminals themselves could generate artificial interference": instead of
+// dedicated interferer nodes, one terminal per slot emits noise.
+//
+// Semantics per slot t with designated jammer J(t):
+//
+//   - the jammer cannot receive anything while jamming (half-duplex:
+//     erasure probability 1 at rx == J(t));
+//   - if the transmitter IS the designated jammer, it transmits instead of
+//     jamming and the slot is effectively un-jammed (a node cannot do
+//     both);
+//   - every other receiver suffers an extra erasure whose probability
+//     decays linearly with distance from the jammer:
+//     jam(d) = JamPErase · max(0, 1 - d/Range).
+//
+// Compared to the WARP interferers of §4 this trades infrastructure for
+// capacity: the jamming terminal loses a slot's worth of reception, which
+// shows up directly in the protocol's reception classes.
+type SelfJam struct {
+	Base ErasureModel
+	// Pos maps NodeID to position (jamming attenuates with distance).
+	Pos []Position
+	// JammerOf designates the jamming node for a slot; return a negative
+	// NodeID for an un-jammed slot.
+	JammerOf func(slot int) NodeID
+	// JamPErase is the erasure probability at zero distance from the
+	// jammer; Range is the distance at which the effect reaches zero.
+	JamPErase float64
+	Range     float64
+}
+
+// PErase implements ErasureModel.
+func (s *SelfJam) PErase(tx, rx NodeID, slot int) float64 {
+	p := s.Base.PErase(tx, rx, slot)
+	j := s.JammerOf(slot)
+	if j < 0 || j == tx {
+		return p
+	}
+	if j == rx {
+		return 1 // the jammer deafens itself
+	}
+	d := s.Pos[j].DistanceTo(s.Pos[rx])
+	jam := 0.0
+	if s.Range > 0 {
+		jam = s.JamPErase * math.Max(0, 1-d/s.Range)
+	}
+	if jam == 0 {
+		return p
+	}
+	return 1 - (1-p)*(1-jam)
+}
+
+// RotatingJammer returns a JammerOf function that cycles the jamming duty
+// through nodes 0..n-1, one per slot.
+func RotatingJammer(n int) func(slot int) NodeID {
+	return func(slot int) NodeID {
+		if n <= 0 {
+			return -1
+		}
+		return NodeID(slot % n)
+	}
+}
+
+// GilbertElliott is a two-state Markov (burst-loss) channel model: each
+// directed link evolves independently between a Good and a Bad state at
+// slot granularity, with different loss probabilities in each. It breaks
+// the independence assumption behind the protocol's binomial budgeting in
+// a controlled way — the ablation that matters for the paper's §6 concern
+// that real channels are less cooperative than the analysis.
+//
+// The model is stateful per link and expects slots to be queried in
+// non-decreasing order per link (the Medium advances time monotonically);
+// a query for an earlier slot re-simulates the link from slot zero, which
+// keeps the model deterministic for a given seed at some cost.
+type GilbertElliott struct {
+	// PLossGood and PLossBad are per-packet loss probabilities in each
+	// state.
+	PLossGood, PLossBad float64
+	// PGoodToBad and PBadToGood are per-slot transition probabilities.
+	PGoodToBad, PBadToGood float64
+	// Seed drives the per-link state evolution.
+	Seed int64
+
+	mu    sync.Mutex
+	links map[linkKey]*linkState
+}
+
+type linkKey struct{ tx, rx NodeID }
+
+type linkState struct {
+	rng  *rand.Rand
+	slot int  // next slot the rng will decide a transition INTO
+	bad  bool // current state
+}
+
+// NewGilbertElliott constructs the model. The stationary loss rate is
+// pi_bad·PLossBad + pi_good·PLossGood with
+// pi_bad = PGoodToBad / (PGoodToBad + PBadToGood).
+func NewGilbertElliott(pLossGood, pLossBad, pGoodToBad, pBadToGood float64, seed int64) *GilbertElliott {
+	return &GilbertElliott{
+		PLossGood:  pLossGood,
+		PLossBad:   pLossBad,
+		PGoodToBad: pGoodToBad,
+		PBadToGood: pBadToGood,
+		Seed:       seed,
+		links:      make(map[linkKey]*linkState),
+	}
+}
+
+// StationaryLoss returns the long-run average loss probability.
+func (g *GilbertElliott) StationaryLoss() float64 {
+	den := g.PGoodToBad + g.PBadToGood
+	if den == 0 {
+		return g.PLossGood
+	}
+	piBad := g.PGoodToBad / den
+	return piBad*g.PLossBad + (1-piBad)*g.PLossGood
+}
+
+// PErase implements ErasureModel.
+func (g *GilbertElliott) PErase(tx, rx NodeID, slot int) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := linkKey{tx, rx}
+	st, ok := g.links[key]
+	if !ok || slot < st.slot-1 {
+		// Fresh link, or a rewind: re-simulate deterministically.
+		st = &linkState{
+			rng: rand.New(rand.NewSource(g.Seed ^ (int64(tx)*1_000_003 + int64(rx)*7_777_777 + 12345))),
+		}
+		g.links[key] = st
+	}
+	for st.slot <= slot {
+		p := g.PGoodToBad
+		if st.bad {
+			p = g.PBadToGood
+		}
+		if st.rng.Float64() < p {
+			st.bad = !st.bad
+		}
+		st.slot++
+	}
+	if st.bad {
+		return g.PLossBad
+	}
+	return g.PLossGood
+}

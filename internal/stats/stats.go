@@ -1,0 +1,101 @@
+// Package stats provides the small set of descriptive statistics used to
+// aggregate experiment results the way §4 of the paper does: minimum,
+// average, and the "minimum achieved during q% of the experiments", which
+// is the q-th percentile from the bottom.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample the way Figure 2 reports reliability.
+type Summary struct {
+	N    int     // sample size
+	Min  float64 // minimum (diamonds in Figure 2)
+	Max  float64
+	Mean float64 // average (circles)
+	P50  float64 // median = minimum over the best 50% (squares)
+	P95  float64 // minimum achieved during 95% of experiments (triangles)
+}
+
+// Summarize computes a Summary. Percentile q here follows the paper's
+// phrasing "the minimum reliability achieved during q% of the experiments":
+// sort descending, keep the best q%, take the minimum of those — which is
+// the (100-q)-th percentile from the bottom. An empty sample returns a
+// zero Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	s.P50 = MinOfBestFraction(xs, 0.50)
+	s.P95 = MinOfBestFraction(xs, 0.95)
+	return s
+}
+
+// MinOfBestFraction returns the minimum over the best (highest) q fraction
+// of the sample — the paper's "minimum achieved during q% of the
+// experiments". q must be in (0, 1]; the count is rounded up so the
+// statistic is conservative (covers at least q of the sample).
+func MinOfBestFraction(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 || q > 1 {
+		panic("stats: fraction out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted) // ascending
+	keep := int(math.Ceil(q * float64(len(sorted))))
+	// The best `keep` values are the top of the sorted slice; their
+	// minimum is the element keep-from-the-end.
+	return sorted[len(sorted)-keep]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) with linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	xs := []float64{1, 0.2, 1, 1, 0.5, 1, 1, 1, 1, 1}
+	s := Summarize(xs)
+	if s.N != 10 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Min != 0.2 || s.Max != 1 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-0.87) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Best 50% are five 1.0s -> min 1. Best 95% = 10 values (ceil) -> 0.2.
+	if s.P50 != 1 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P95 != 0.2 {
+		t.Fatalf("P95 = %v", s.P95)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestMinOfBestFraction(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if got := MinOfBestFraction(xs, 0.5); got != 0.6 {
+		t.Fatalf("q=0.5: %v", got)
+	}
+	if got := MinOfBestFraction(xs, 1.0); got != 0.1 {
+		t.Fatalf("q=1.0: %v", got)
+	}
+	if got := MinOfBestFraction(xs, 0.95); got != 0.1 {
+		t.Fatalf("q=0.95 (ceil to 10 kept): %v", got)
+	}
+	if got := MinOfBestFraction(xs, 0.90); got != 0.2 {
+		t.Fatalf("q=0.90: %v", got)
+	}
+	if !math.IsNaN(MinOfBestFraction(nil, 0.5)) {
+		t.Fatal("empty sample should be NaN")
+	}
+}
+
+func TestMinOfBestFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q=0 did not panic")
+		}
+	}()
+	MinOfBestFraction([]float64{1}, 0)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 3 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 1.5 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 40); got != 7 {
+		t.Fatalf("single = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty sample should be NaN")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=101 did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	cp := append([]float64(nil), xs...)
+	Summarize(xs)
+	Percentile(xs, 30)
+	MinOfBestFraction(xs, 0.7)
+	for i := range xs {
+		if xs[i] != cp[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}

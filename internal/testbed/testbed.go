@@ -1,0 +1,282 @@
+// Package testbed reproduces the paper's §4 deployment: a 14 m² indoor
+// area divided into 9 logical cells (3x3), n terminals and one adversary
+// placed in distinct cells, and 6 WARP interferers whose beams blanket one
+// row and one column of the grid at a time, rotating through all 9
+// (row, column) noise patterns over the course of an experiment.
+//
+// An "experiment", exactly as in the paper, is: place Eve in one cell and
+// the n terminals in n other cells, run the protocol once while rotating
+// the interference, and measure efficiency and reliability. The package
+// enumerates every placement and aggregates results the way Figure 2 does.
+package testbed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/stats"
+)
+
+// Geometry of the paper's deployment.
+const (
+	// AreaM2 is the covered area: "a small indoor wireless testbed that
+	// covers a square area of 14 m²".
+	AreaM2 = 14.0
+	// GridDim is the cell grid dimension: 9 logical cells.
+	GridDim = 3
+	// NumCells is the number of logical cells.
+	NumCells = GridDim * GridDim
+	// ChannelBitsPerSec is the transmit rate: "100-byte packets at 1 Mbps".
+	ChannelBitsPerSec = 1e6
+)
+
+// CellSide returns the side of one logical cell in meters (~1.25 m).
+func CellSide() float64 { return math.Sqrt(AreaM2) / GridDim }
+
+// MinDistance returns the paper's minimum node separation: the diagonal of
+// a logical cell, quoted as 1.75 m.
+func MinDistance() float64 { return CellSide() * math.Sqrt2 }
+
+// Cell indexes a logical cell, row-major: 0..8.
+type Cell int
+
+// RowCol returns the cell's grid coordinates.
+func (c Cell) RowCol() (row, col int) { return int(c) / GridDim, int(c) % GridDim }
+
+// Center returns the cell's center position in meters.
+func (c Cell) Center() radio.Position {
+	r, col := c.RowCol()
+	s := CellSide()
+	return radio.Position{X: (float64(col) + 0.5) * s, Y: (float64(r) + 0.5) * s}
+}
+
+// Placement positions one experiment: Eve's cell plus one distinct cell
+// per terminal ("each cell is occupied by at most one node").
+type Placement struct {
+	EveCell       Cell
+	TerminalCells []Cell
+}
+
+// Validate checks that cells are in range and pairwise distinct.
+func (p Placement) Validate() error {
+	used := map[Cell]bool{}
+	check := func(c Cell) error {
+		if c < 0 || c >= NumCells {
+			return fmt.Errorf("testbed: cell %d out of range", c)
+		}
+		if used[c] {
+			return fmt.Errorf("testbed: cell %d occupied twice", c)
+		}
+		used[c] = true
+		return nil
+	}
+	if err := check(p.EveCell); err != nil {
+		return err
+	}
+	for _, c := range p.TerminalCells {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnumeratePlacements lists every way to place Eve in one cell and n
+// terminals in n of the remaining cells (terminals are interchangeable
+// because the protocol rotates the leader role, so cell combinations, not
+// permutations, are enumerated). For n terminals this yields
+// 9 * C(8, n) placements — the paper's "one experiment for each possible
+// positioning of n terminals and Eve".
+func EnumeratePlacements(n int) []Placement {
+	if n < 1 || n > NumCells-1 {
+		panic(fmt.Sprintf("testbed: cannot place %d terminals in %d cells", n, NumCells-1))
+	}
+	var out []Placement
+	for ev := Cell(0); ev < NumCells; ev++ {
+		var free []Cell
+		for c := Cell(0); c < NumCells; c++ {
+			if c != ev {
+				free = append(free, c)
+			}
+		}
+		comb := make([]Cell, n)
+		var walk func(start, depth int)
+		walk = func(start, depth int) {
+			if depth == n {
+				out = append(out, Placement{EveCell: ev, TerminalCells: append([]Cell(nil), comb...)})
+				return
+			}
+			for i := start; i < len(free); i++ {
+				comb[depth] = free[i]
+				walk(i+1, depth+1)
+			}
+		}
+		walk(0, 0)
+	}
+	return out
+}
+
+// Channel holds the physical-layer parameters of the simulated testbed.
+// Defaults are calibrated so that (a) nearby terminals receive most
+// un-jammed packets, (b) the rotating interference forces every node —
+// Eve included — to miss a large fraction of packets over a full rotation,
+// and (c) the resulting efficiency and reliability land in the regime the
+// paper reports.
+type Channel struct {
+	Base      float64 // loss floor at zero distance
+	PerMeter  float64 // loss per meter of tx-rx distance
+	Cap       float64 // cap on distance-driven loss
+	JamPErase float64 // extra erasure probability while a receiver is jammed
+
+	// SelfJam replaces the dedicated WARP interferers with the paper's
+	// §3.3 alternative: the terminals themselves take turns generating
+	// noise, one per slot (the jamming terminal is deaf for the slot).
+	SelfJam bool
+	// SelfJamPErase is the erasure probability at zero distance from a
+	// self-jamming terminal; SelfJamRange the distance at which the
+	// effect fades to zero. Zero values select defaults (0.85, 2.5 m).
+	SelfJamPErase float64
+	SelfJamRange  float64
+}
+
+// DefaultChannel returns the calibrated parameters.
+func DefaultChannel() Channel {
+	return Channel{Base: 0.05, PerMeter: 0.06, Cap: 0.45, JamPErase: 0.85}
+}
+
+// Experiment is one placement run with a protocol configuration.
+type Experiment struct {
+	Placement Placement
+	Channel   Channel
+	Protocol  core.Config
+	// EveCancelsJamming models the paper's §6 stronger adversary: an Eve
+	// whose antenna array separates and cancels the artificial
+	// interference, leaving her with the bare distance-driven channel.
+	// Only meaningful with the dedicated-interferer channel (not SelfJam).
+	EveCancelsJamming bool
+	// Seed drives the channel erasures (the protocol's payload randomness
+	// is seeded by Protocol.Seed).
+	Seed int64
+}
+
+// Run builds the geometry, the interference schedule and the medium, then
+// executes the protocol session. Node indices: terminals 0..n-1, Eve = n.
+func (e *Experiment) Run() (*core.SessionResult, error) {
+	if err := e.Placement.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(e.Placement.TerminalCells)
+	if e.Protocol.Terminals == 0 {
+		e.Protocol.Terminals = n
+	}
+	if e.Protocol.Terminals != n {
+		return nil, fmt.Errorf("testbed: %d terminal cells but config says %d terminals", n, e.Protocol.Terminals)
+	}
+	pos := make([]radio.Position, n+1)
+	cells := make([]Cell, n+1)
+	for i, c := range e.Placement.TerminalCells {
+		pos[i] = c.Center()
+		cells[i] = c
+	}
+	pos[n] = e.Placement.EveCell.Center()
+	cells[n] = e.Placement.EveCell
+
+	base := &radio.DistanceModel{Pos: pos, Base: e.Channel.Base, PerMeter: e.Channel.PerMeter, Cap: e.Channel.Cap}
+	var model radio.ErasureModel
+	if e.Channel.SelfJam {
+		pe, rg := e.Channel.SelfJamPErase, e.Channel.SelfJamRange
+		if pe == 0 {
+			pe = 0.85
+		}
+		if rg == 0 {
+			rg = 2.5
+		}
+		model = &radio.SelfJam{
+			Base:      base,
+			Pos:       pos,
+			JammerOf:  radio.RotatingJammer(n), // terminals only; Eve is passive
+			JamPErase: pe,
+			Range:     rg,
+		}
+	} else {
+		jam := &radio.Jammer{
+			Base: base,
+			CellOf: func(id radio.NodeID) (int, int) {
+				return cells[int(id)].RowCol()
+			},
+			Schedule:  radio.AllPatterns(GridDim, GridDim),
+			JamPErase: e.Channel.JamPErase,
+		}
+		if e.EveCancelsJamming {
+			jam.Immune = map[radio.NodeID]bool{radio.NodeID(n): true}
+		}
+		model = jam
+	}
+	med := radio.NewMedium(model, n+1, e.Seed)
+	return core.RunSession(e.Protocol, med, []radio.NodeID{radio.NodeID(n)})
+}
+
+// SweepResult aggregates one group size's experiments the way Figure 2
+// reports them.
+type SweepResult struct {
+	N           int
+	Experiments int
+	// NoSecret counts experiments in which the session produced zero
+	// secret bits (reliability undefined); they are excluded from the
+	// reliability summary and reported separately.
+	NoSecret    int
+	Reliability stats.Summary
+	Efficiency  stats.Summary
+	MinKbps     float64 // minimum secret rate at 1 Mbps across experiments
+}
+
+// SweepOptions controls a reliability sweep.
+type SweepOptions struct {
+	// Protocol is the base configuration; Terminals is overridden per
+	// placement.
+	Protocol core.Config
+	Channel  Channel
+	Seed     int64
+	// MaxPlacements, when positive, deterministically subsamples the
+	// placement list (every k-th) to bound runtime. 0 means all.
+	MaxPlacements int
+}
+
+// Sweep runs every placement for group size n and aggregates.
+func Sweep(n int, opt SweepOptions) (*SweepResult, error) {
+	placements := EnumeratePlacements(n)
+	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
+		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
+		var sub []Placement
+		for i := 0; i < len(placements); i += stride {
+			sub = append(sub, placements[i])
+		}
+		placements = sub
+	}
+	res := &SweepResult{N: n, Experiments: len(placements), MinKbps: math.Inf(1)}
+	var rel, eff []float64
+	for i, pl := range placements {
+		cfg := opt.Protocol
+		cfg.Terminals = n
+		cfg.Seed = opt.Seed + int64(i)*7919
+		ex := &Experiment{Placement: pl, Channel: opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
+		r, err := ex.Run()
+		if err != nil {
+			return nil, fmt.Errorf("testbed: placement %d: %w", i, err)
+		}
+		eff = append(eff, r.Efficiency)
+		if kbps := r.SecretKbpsAt(ChannelBitsPerSec); kbps < res.MinKbps {
+			res.MinKbps = kbps
+		}
+		if math.IsNaN(r.Reliability) {
+			res.NoSecret++
+			continue
+		}
+		rel = append(rel, r.Reliability)
+	}
+	res.Reliability = stats.Summarize(rel)
+	res.Efficiency = stats.Summarize(eff)
+	return res, nil
+}

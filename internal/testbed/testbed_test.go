@@ -1,0 +1,228 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGeometry(t *testing.T) {
+	if math.Abs(CellSide()-math.Sqrt(14)/3) > 1e-12 {
+		t.Fatalf("cell side = %v", CellSide())
+	}
+	// The paper quotes the minimum distance (cell diagonal) as 1.75 m.
+	if math.Abs(MinDistance()-1.75) > 0.02 {
+		t.Fatalf("min distance = %v, want ~1.75", MinDistance())
+	}
+	c := Cell(5) // row 1, col 2
+	r, col := c.RowCol()
+	if r != 1 || col != 2 {
+		t.Fatalf("RowCol = %d,%d", r, col)
+	}
+	p := c.Center()
+	s := CellSide()
+	if math.Abs(p.X-2.5*s) > 1e-12 || math.Abs(p.Y-1.5*s) > 1e-12 {
+		t.Fatalf("center = %+v", p)
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	ok := Placement{EveCell: 0, TerminalCells: []Cell{1, 2, 3}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Placement{
+		{EveCell: 9, TerminalCells: []Cell{0}},
+		{EveCell: 0, TerminalCells: []Cell{0}},
+		{EveCell: 0, TerminalCells: []Cell{1, 1}},
+		{EveCell: 0, TerminalCells: []Cell{-1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEnumeratePlacements(t *testing.T) {
+	// 9 * C(8, n).
+	want := map[int]int{1: 72, 2: 252, 3: 504, 8: 9}
+	for n, count := range want {
+		got := EnumeratePlacements(n)
+		if len(got) != count {
+			t.Fatalf("n=%d: %d placements, want %d", n, len(got), count)
+		}
+		for _, p := range got {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("n=%d: invalid placement %+v: %v", n, p, err)
+			}
+			if len(p.TerminalCells) != n {
+				t.Fatalf("n=%d: wrong terminal count", n)
+			}
+		}
+	}
+}
+
+func TestEnumeratePlacementsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=9 did not panic")
+		}
+	}()
+	EnumeratePlacements(9)
+}
+
+func TestExperimentRunOracle(t *testing.T) {
+	ex := &Experiment{
+		Placement: Placement{EveCell: 4, TerminalCells: []Cell{0, 2, 6, 8}},
+		Channel:   DefaultChannel(),
+		Protocol: core.Config{
+			XPerRound: 45, PayloadBytes: 20, Rounds: 2, Rotate: true,
+			Estimator: core.Oracle{}, Seed: 42,
+		},
+		Seed: 7,
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAgreed {
+		t.Fatal("terminals disagreed")
+	}
+	if res.UnknownDims != res.SecretDims {
+		t.Fatal("oracle run leaked")
+	}
+	if res.SecretDims == 0 {
+		t.Fatal("no secret on a friendly placement")
+	}
+	// Interference must be biting: Eve misses a sizeable fraction.
+	for _, ri := range res.Rounds {
+		if ri.EveMissRate < 0.2 {
+			t.Fatalf("Eve miss rate %v suspiciously low; jamming broken?", ri.EveMissRate)
+		}
+	}
+}
+
+func TestExperimentTerminalCountMismatch(t *testing.T) {
+	ex := &Experiment{
+		Placement: Placement{EveCell: 0, TerminalCells: []Cell{1, 2}},
+		Channel:   DefaultChannel(),
+		Protocol:  core.Config{Terminals: 5, XPerRound: 10},
+	}
+	if _, err := ex.Run(); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestExperimentDefaultsTerminalsFromPlacement(t *testing.T) {
+	ex := &Experiment{
+		Placement: Placement{EveCell: 0, TerminalCells: []Cell{1, 8}},
+		Channel:   DefaultChannel(),
+		Protocol:  core.Config{XPerRound: 20, PayloadBytes: 8, Estimator: core.Oracle{}},
+		Seed:      3,
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	res, err := Sweep(3, SweepOptions{
+		Protocol:      core.Config{XPerRound: 36, PayloadBytes: 8, Rounds: 1, Rotate: true},
+		Channel:       DefaultChannel(),
+		Seed:          1,
+		MaxPlacements: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiments == 0 || res.Experiments > 12 {
+		t.Fatalf("experiments = %d", res.Experiments)
+	}
+	if res.Reliability.N+res.NoSecret != res.Experiments {
+		t.Fatalf("accounting: rel=%d nosecret=%d total=%d", res.Reliability.N, res.NoSecret, res.Experiments)
+	}
+	if res.Efficiency.N != res.Experiments {
+		t.Fatal("efficiency sample size mismatch")
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	opt := SweepOptions{
+		Protocol:      core.Config{XPerRound: 27, PayloadBytes: 8, Rounds: 1},
+		Channel:       DefaultChannel(),
+		Seed:          5,
+		MaxPlacements: 6,
+	}
+	a, err := Sweep(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reliability != b.Reliability || a.Efficiency != b.Efficiency || a.NoSecret != b.NoSecret {
+		t.Fatal("sweep not deterministic")
+	}
+}
+
+func TestSelfJamExperiment(t *testing.T) {
+	ch := DefaultChannel()
+	ch.SelfJam = true
+	ex := &Experiment{
+		Placement: Placement{EveCell: 4, TerminalCells: []Cell{0, 2, 6}},
+		Channel:   ch,
+		Protocol:  core.Config{XPerRound: 45, PayloadBytes: 8, Rounds: 2, Rotate: true, Estimator: core.Oracle{}},
+		Seed:      5,
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAgreed || res.UnknownDims != res.SecretDims {
+		t.Fatal("self-jam session broken")
+	}
+}
+
+func TestCancellingEveHearsMore(t *testing.T) {
+	base := &Experiment{
+		Placement: Placement{EveCell: 4, TerminalCells: []Cell{0, 2, 6, 8}},
+		Channel:   DefaultChannel(),
+		Protocol:  core.Config{XPerRound: 90, PayloadBytes: 8, Rounds: 2, Rotate: true, Estimator: core.Oracle{}, Seed: 7},
+		Seed:      9,
+	}
+	normal, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := *base
+	cancel.Protocol = base.Protocol // Config copied by value; same seeds
+	cancel.EveCancelsJamming = true
+	strong, err := cancel.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same erasure draw stream, jamming removed only for Eve: she must
+	// miss strictly less (or equal), so the oracle secret shrinks.
+	var missN, missC float64
+	for i := range normal.Rounds {
+		missN += normal.Rounds[i].EveMissRate
+		missC += strong.Rounds[i].EveMissRate
+	}
+	if missC >= missN {
+		t.Fatalf("cancelling Eve misses %.3f vs normal %.3f", missC, missN)
+	}
+	if strong.SecretDims > normal.SecretDims {
+		t.Fatalf("secret grew against a stronger Eve: %d > %d", strong.SecretDims, normal.SecretDims)
+	}
+	// Oracle remains perfect regardless.
+	if strong.UnknownDims != strong.SecretDims {
+		t.Fatal("oracle leaked against cancelling Eve")
+	}
+}

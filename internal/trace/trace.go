@@ -1,0 +1,109 @@
+// Package trace provides a structured event log for protocol sessions:
+// what each round did (leader, receptions, plan, outcome) in a form that
+// can be rendered as text or JSON. The engine emits events only when a
+// tracer is configured, so the zero-cost default stays zero-cost.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event kinds emitted by the session engine.
+const (
+	KindRoundStart    = "round_start"
+	KindXPhaseDone    = "x_phase_done"
+	KindPlanBuilt     = "plan_built"
+	KindRoundAborted  = "round_aborted"
+	KindSecretDerived = "secret_derived"
+	KindSessionDone   = "session_done"
+)
+
+// Event is one protocol occurrence. Attrs hold small scalar details
+// (counts, rates); keys are stable and documented at the emit sites.
+type Event struct {
+	Kind  string         `json:"kind"`
+	Round int            `json:"round"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer receives events. Implementations must be safe for use from a
+// single session goroutine; the engine never emits concurrently.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Log is a Tracer that collects events in memory. It is safe for
+// concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Emit implements Tracer.
+func (l *Log) Emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Copy attrs so callers can reuse maps.
+	if e.Attrs != nil {
+		cp := make(map[string]any, len(e.Attrs))
+		for k, v := range e.Attrs {
+			cp[k] = v
+		}
+		e.Attrs = cp
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns a snapshot of the collected events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the number of collected events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// WriteJSON renders the log as a JSON array.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Events())
+}
+
+// WriteText renders the log as one aligned line per event.
+func (l *Log) WriteText(w io.Writer) error {
+	for _, e := range l.Events() {
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var attrs strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&attrs, " %s=%v", k, e.Attrs[k])
+		}
+		if _, err := fmt.Fprintf(w, "round=%-3d %-16s%s\n", e.Round, e.Kind, attrs.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Nop is a Tracer that discards everything.
+type Nop struct{}
+
+// Emit implements Tracer.
+func (Nop) Emit(Event) {}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogCollects(t *testing.T) {
+	l := NewLog()
+	l.Emit(Event{Kind: KindRoundStart, Round: 0, Attrs: map[string]any{"leader": 0}})
+	l.Emit(Event{Kind: KindSecretDerived, Round: 0, Attrs: map[string]any{"secret_packets": 5}})
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Kind != KindRoundStart || evs[1].Kind != KindSecretDerived {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestEmitCopiesAttrs(t *testing.T) {
+	l := NewLog()
+	attrs := map[string]any{"x": 1}
+	l.Emit(Event{Kind: "k", Attrs: attrs})
+	attrs["x"] = 99
+	if l.Events()[0].Attrs["x"] != 1 {
+		t.Fatal("attrs aliased")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	l := NewLog()
+	l.Emit(Event{Kind: KindPlanBuilt, Round: 2, Attrs: map[string]any{"m": 7, "l": 3}})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0].Kind != KindPlanBuilt || decoded[0].Round != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	l := NewLog()
+	l.Emit(Event{Kind: KindRoundStart, Round: 1, Attrs: map[string]any{"b": 2, "a": 1}})
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "round_start") || !strings.Contains(s, "a=1 b=2") {
+		t.Fatalf("text = %q", s)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Emit(Event{Kind: "k", Round: i})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 1600 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	n.Emit(Event{Kind: "anything"}) // must not panic
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/radio"
+)
+
+// ChanBus is an in-process broadcast domain. Data frames suffer
+// per-receiver Bernoulli erasures drawn from an ErasureModel (with a slot
+// clock that advances every SlotEvery data frames, mirroring the testbed's
+// interference rotation); control frames are delivered reliably to every
+// endpoint.
+type ChanBus struct {
+	model     radio.ErasureModel
+	slotEvery int
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[int]*chanEndpoint
+	dataCount int
+	slot      int
+	closed    bool
+
+	bits atomic.Int64
+}
+
+// NewChanBus creates a bus over the given erasure model. slotEvery <= 0
+// disables the slot clock (slot stays 0).
+func NewChanBus(model radio.ErasureModel, seed int64, slotEvery int) *ChanBus {
+	return &ChanBus{
+		model:     model,
+		slotEvery: slotEvery,
+		rng:       rand.New(rand.NewSource(seed)),
+		endpoints: make(map[int]*chanEndpoint),
+	}
+}
+
+// Endpoint implements Bus.
+func (b *ChanBus) Endpoint(id int) (Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if ep, ok := b.endpoints[id]; ok {
+		return ep, nil
+	}
+	ep := &chanEndpoint{bus: b, id: id, ch: make(chan Env, 4096)}
+	b.endpoints[id] = ep
+	return ep, nil
+}
+
+// BitsSent implements Bus.
+func (b *ChanBus) BitsSent() int64 { return b.bits.Load() }
+
+// Close implements Bus.
+func (b *ChanBus) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for _, ep := range b.endpoints {
+		close(ep.ch)
+	}
+	return nil
+}
+
+func (b *ChanBus) broadcast(from int, frame []byte, reliable bool) error {
+	b.bits.Add(int64(len(frame)) * 8)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if !reliable && b.slotEvery > 0 {
+		b.dataCount++
+		if b.dataCount%b.slotEvery == 0 {
+			b.slot++
+		}
+	}
+	ids := make([]int, 0, len(b.endpoints))
+	for id := range b.endpoints {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic erasure draws for a given seed
+	for _, id := range ids {
+		ep := b.endpoints[id]
+		if id == from {
+			continue
+		}
+		if !reliable {
+			p := b.model.PErase(radio.NodeID(from), radio.NodeID(id), b.slot)
+			if b.rng.Float64() < p {
+				continue
+			}
+		}
+		env := Env{From: from, Reliable: reliable, Frame: append([]byte(nil), frame...)}
+		select {
+		case ep.ch <- env:
+		default:
+			// A full inbox means the consumer stalled for thousands of
+			// frames; treat as a fatal protocol bug rather than silently
+			// dropping a reliable frame.
+			return fmt.Errorf("transport: endpoint %d inbox overflow", id)
+		}
+	}
+	return nil
+}
+
+type chanEndpoint struct {
+	bus *ChanBus
+	id  int
+	ch  chan Env
+}
+
+func (e *chanEndpoint) ID() int { return e.id }
+
+func (e *chanEndpoint) SendData(frame []byte) error {
+	return e.bus.broadcast(e.id, frame, false)
+}
+
+func (e *chanEndpoint) SendCtrl(frame []byte) error {
+	return e.bus.broadcast(e.id, frame, true)
+}
+
+func (e *chanEndpoint) Recv() <-chan Env { return e.ch }
+
+func (e *chanEndpoint) Close() error { return nil }

@@ -1,0 +1,58 @@
+// Package transport provides the message-passing runtime that turns the
+// protocol's pure round computations (internal/core) into concurrent
+// nodes, the way real wireless devices would run it: one goroutine per
+// terminal exchanging wire-encoded frames over a broadcast Bus.
+//
+// Two Bus implementations are provided:
+//
+//   - ChanBus: an in-process broadcast domain backed by channels, with the
+//     same erasure semantics as radio.Medium (data frames are dropped per
+//     receiver according to an ErasureModel; control frames are reliable
+//     and overheard by everyone, including the eavesdropper's tap).
+//   - UDPBus: a loopback UDP hub with a small ARQ (sequence numbers,
+//     acknowledgments, retransmission timers) providing the reliable
+//     control plane over actual sockets.
+//
+// The paper's "reliably broadcasts" primitive maps to SendCtrl; a plain
+// packet transmission maps to SendData.
+package transport
+
+import "errors"
+
+// Env is a frame delivered to an endpoint.
+type Env struct {
+	From     int    // sender node index
+	Reliable bool   // true for control-plane frames
+	Frame    []byte // wire-encoded message
+}
+
+// Endpoint is one node's attachment to a broadcast Bus.
+type Endpoint interface {
+	// ID returns the node index on the bus.
+	ID() int
+	// SendData broadcasts an unreliable data frame; each receiver gets it
+	// subject to the bus's erasure process.
+	SendData(frame []byte) error
+	// SendCtrl broadcasts a reliable control frame, delivered to every
+	// other endpoint (the eavesdropper included, per the paper's model).
+	SendCtrl(frame []byte) error
+	// Recv yields delivered frames. The channel is closed when the bus
+	// shuts down.
+	Recv() <-chan Env
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Bus is a broadcast domain with per-receiver erasures on the data plane.
+type Bus interface {
+	// Endpoint returns the endpoint for node id (creating it if needed).
+	Endpoint(id int) (Endpoint, error)
+	// BitsSent returns the total bits transmitted on the bus (efficiency
+	// accounting).
+	BitsSent() int64
+	// Close shuts the bus down and closes all endpoint channels.
+	Close() error
+}
+
+// ErrClosed is returned when using a closed bus or endpoint.
+var ErrClosed = errors.New("transport: closed")

@@ -1,0 +1,484 @@
+// Package wire defines the protocol's message formats and a compact,
+// versioned binary codec for them.
+//
+// Five message types flow during a round, mirroring §3 of the paper:
+//
+//	XPacket    — an x-packet broadcast (unreliable, subject to erasure)
+//	AckReport  — a terminal's reception report (reliable; step 2 of Phase 1)
+//	YAnnounce  — identities/coefficients of the y-packets (reliable; step 3)
+//	ZPacket    — one z-packet: coefficients AND contents (reliable; Phase 2 step 1)
+//	SAnnounce  — coefficients of the s-packets (reliable; Phase 2 step 3)
+//
+// Reliable messages are assumed overheard by Eve in full, per the paper's
+// conservative model. The codec is deliberately self-contained: fixed
+// big-endian header, length-prefixed vectors, and a trailing CRC-32 so the
+// UDP transport can reject corrupted datagrams.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Type enumerates message types.
+type Type uint8
+
+// Message type values. They appear on the wire and must not be renumbered.
+const (
+	TypeX Type = iota + 1
+	TypeAck
+	TypeYAnnounce
+	TypeZ
+	TypeSAnnounce
+	TypeBeacon
+)
+
+// String returns the mnemonic name of a message type.
+func (t Type) String() string {
+	switch t {
+	case TypeX:
+		return "X"
+	case TypeAck:
+		return "ACK"
+	case TypeYAnnounce:
+		return "Y-ANNOUNCE"
+	case TypeZ:
+		return "Z"
+	case TypeSAnnounce:
+		return "S-ANNOUNCE"
+	case TypeBeacon:
+		return "BEACON"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Version is the current codec version byte.
+const Version = 1
+
+const (
+	magic0 = 0x54 // 'T'
+	magic1 = 0x41 // 'A' — "Thin Air"
+)
+
+// Header carries the fields common to every message.
+type Header struct {
+	Type    Type
+	From    uint8  // index of the sending terminal
+	Session uint32 // session identifier
+	Round   uint16 // round number within the session
+}
+
+// Message is implemented by all wire messages.
+type Message interface {
+	Hdr() *Header
+	// body appends the type-specific payload encoding.
+	body(dst []byte) []byte
+	// parseBody decodes the type-specific payload.
+	parseBody(r *reader) error
+}
+
+// XPacket is one unreliable x-packet broadcast.
+type XPacket struct {
+	Header
+	Seq     uint32 // x-packet ID within the round
+	Payload []byte
+}
+
+// AckReport is a terminal's reliable report of which x-packets it received.
+type AckReport struct {
+	Header
+	NumX   uint32   // number of x-packets transmitted this round
+	Bitmap []uint64 // reception bitmap, ceil(NumX/64) words
+}
+
+// ClassBatch is one reception class's y-packet construction: the x-IDs in
+// the class and the m_T x c_T coefficient matrix over them.
+type ClassBatch struct {
+	XIDs   []uint32
+	Coeffs [][]uint16 // rows: one per y-packet in the batch
+}
+
+// YAnnounce publishes the y-packet constructions for a round.
+type YAnnounce struct {
+	Header
+	Classes []ClassBatch
+}
+
+// ZPacket carries one z-packet: its coefficient row over the y-packets and
+// its contents.
+type ZPacket struct {
+	Header
+	Index   uint16   // z-packet index, 0..M-L-1
+	Coeffs  []uint16 // length M
+	Payload []byte
+}
+
+// SAnnounce publishes the s-packet coefficient rows (L rows of length M).
+type SAnnounce struct {
+	Header
+	Coeffs [][]uint16
+}
+
+// BeaconKind enumerates the coordination signals of the asynchronous node
+// runtime. They carry no payload knowledge (Eve learns nothing linear
+// from them).
+type BeaconKind uint8
+
+// Beacon kinds.
+const (
+	// BeaconEndOfX marks the end of the round's x-packet transmissions;
+	// Value carries the number of packets transmitted.
+	BeaconEndOfX BeaconKind = iota + 1
+	// BeaconRoundAbort tells terminals the round yields no secret
+	// (L = 0); Value is unused.
+	BeaconRoundAbort
+	// BeaconSessionDone marks the end of the session; Value carries the
+	// number of completed rounds.
+	BeaconSessionDone
+)
+
+// Beacon is a small coordination message used by the asynchronous
+// runtime (the synchronous simulator does not need it).
+type Beacon struct {
+	Header
+	Kind  BeaconKind
+	Value uint32
+}
+
+// Hdr returns the message header.
+func (m *XPacket) Hdr() *Header   { return &m.Header }
+func (m *AckReport) Hdr() *Header { return &m.Header }
+func (m *YAnnounce) Hdr() *Header { return &m.Header }
+func (m *ZPacket) Hdr() *Header   { return &m.Header }
+func (m *SAnnounce) Hdr() *Header { return &m.Header }
+func (m *Beacon) Hdr() *Header    { return &m.Header }
+
+// Codec errors.
+var (
+	ErrShort     = errors.New("wire: message truncated")
+	ErrMagic     = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported version")
+	ErrChecksum  = errors.New("wire: checksum mismatch")
+	ErrType      = errors.New("wire: unknown message type")
+	ErrSizeLimit = errors.New("wire: length field exceeds limit")
+	ErrTrailing  = errors.New("wire: trailing bytes after body")
+)
+
+// maxVec caps every length-prefixed vector to keep a corrupted or hostile
+// length field from driving huge allocations.
+const maxVec = 1 << 20
+
+const headerLen = 2 + 1 + 1 + 1 + 4 + 2 // magic, version, type, from, session, round
+
+// Marshal encodes a message into a self-delimiting frame.
+func Marshal(m Message) []byte {
+	h := m.Hdr()
+	buf := make([]byte, 0, 64)
+	buf = append(buf, magic0, magic1, Version, byte(h.Type), h.From)
+	buf = binary.BigEndian.AppendUint32(buf, h.Session)
+	buf = binary.BigEndian.AppendUint16(buf, h.Round)
+	buf = m.body(buf)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Unmarshal decodes one frame into the appropriate message type.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < headerLen+4 {
+		return nil, ErrShort
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrChecksum
+	}
+	if body[0] != magic0 || body[1] != magic1 {
+		return nil, ErrMagic
+	}
+	if body[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, body[2])
+	}
+	typ := Type(body[3])
+	var m Message
+	switch typ {
+	case TypeX:
+		m = &XPacket{}
+	case TypeAck:
+		m = &AckReport{}
+	case TypeYAnnounce:
+		m = &YAnnounce{}
+	case TypeZ:
+		m = &ZPacket{}
+	case TypeSAnnounce:
+		m = &SAnnounce{}
+	case TypeBeacon:
+		m = &Beacon{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrType, body[3])
+	}
+	h := m.Hdr()
+	h.Type = typ
+	h.From = body[4]
+	h.Session = binary.BigEndian.Uint32(body[5:9])
+	h.Round = binary.BigEndian.Uint16(body[9:11])
+	r := &reader{b: body[headerLen:]}
+	if err := m.parseBody(r); err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}
+
+// reader is a bounds-checked big-endian cursor.
+type reader struct{ b []byte }
+
+func (r *reader) u16() (uint16, error) {
+	if len(r.b) < 2 {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *reader) count() (int, error) {
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxVec {
+		return 0, ErrSizeLimit
+	}
+	return int(v), nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) < n {
+		return nil, ErrShort
+	}
+	out := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) u16s() ([]uint16, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) < 2*n {
+		return nil, ErrShort
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint16(r.b[2*i:])
+	}
+	r.b = r.b[2*n:]
+	return out, nil
+}
+
+func (r *reader) u32s() ([]uint32, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) < 4*n {
+		return nil, ErrShort
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(r.b[4*i:])
+	}
+	r.b = r.b[4*n:]
+	return out, nil
+}
+
+func (r *reader) u64s() ([]uint64, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) < 8*n {
+		return nil, ErrShort
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(r.b[8*i:])
+	}
+	r.b = r.b[8*n:]
+	return out, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func appendU16s(dst []byte, v []uint16) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(v)))
+	for _, x := range v {
+		dst = binary.BigEndian.AppendUint16(dst, x)
+	}
+	return dst
+}
+
+func appendU32s(dst []byte, v []uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(v)))
+	for _, x := range v {
+		dst = binary.BigEndian.AppendUint32(dst, x)
+	}
+	return dst
+}
+
+func appendU64s(dst []byte, v []uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(v)))
+	for _, x := range v {
+		dst = binary.BigEndian.AppendUint64(dst, x)
+	}
+	return dst
+}
+
+func (m *XPacket) body(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	return appendBytes(dst, m.Payload)
+}
+
+func (m *XPacket) parseBody(r *reader) (err error) {
+	if m.Seq, err = r.u32(); err != nil {
+		return err
+	}
+	m.Payload, err = r.bytes()
+	return err
+}
+
+func (m *AckReport) body(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.NumX)
+	return appendU64s(dst, m.Bitmap)
+}
+
+func (m *AckReport) parseBody(r *reader) (err error) {
+	if m.NumX, err = r.u32(); err != nil {
+		return err
+	}
+	m.Bitmap, err = r.u64s()
+	return err
+}
+
+func (m *YAnnounce) body(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Classes)))
+	for _, cb := range m.Classes {
+		dst = appendU32s(dst, cb.XIDs)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(cb.Coeffs)))
+		for _, row := range cb.Coeffs {
+			dst = appendU16s(dst, row)
+		}
+	}
+	return dst
+}
+
+func (m *YAnnounce) parseBody(r *reader) error {
+	nc, err := r.count()
+	if err != nil {
+		return err
+	}
+	m.Classes = make([]ClassBatch, nc)
+	for i := range m.Classes {
+		if m.Classes[i].XIDs, err = r.u32s(); err != nil {
+			return err
+		}
+		nr, err := r.count()
+		if err != nil {
+			return err
+		}
+		m.Classes[i].Coeffs = make([][]uint16, nr)
+		for j := range m.Classes[i].Coeffs {
+			if m.Classes[i].Coeffs[j], err = r.u16s(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *ZPacket) body(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, m.Index)
+	dst = appendU16s(dst, m.Coeffs)
+	return appendBytes(dst, m.Payload)
+}
+
+func (m *ZPacket) parseBody(r *reader) (err error) {
+	if m.Index, err = r.u16(); err != nil {
+		return err
+	}
+	if m.Coeffs, err = r.u16s(); err != nil {
+		return err
+	}
+	m.Payload, err = r.bytes()
+	return err
+}
+
+func (m *SAnnounce) body(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Coeffs)))
+	for _, row := range m.Coeffs {
+		dst = appendU16s(dst, row)
+	}
+	return dst
+}
+
+func (m *SAnnounce) parseBody(r *reader) error {
+	nr, err := r.count()
+	if err != nil {
+		return err
+	}
+	m.Coeffs = make([][]uint16, nr)
+	for i := range m.Coeffs {
+		if m.Coeffs[i], err = r.u16s(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Beacon) body(dst []byte) []byte {
+	dst = append(dst, byte(m.Kind))
+	return binary.BigEndian.AppendUint32(dst, m.Value)
+}
+
+func (m *Beacon) parseBody(r *reader) error {
+	if len(r.b) < 1 {
+		return ErrShort
+	}
+	m.Kind = BeaconKind(r.b[0])
+	r.b = r.b[1:]
+	v, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Value = v
+	return nil
+}

@@ -1,0 +1,301 @@
+package wire
+
+import (
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func crc32ChecksumIEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b := Marshal(m)
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal(%s): %v", m.Hdr().Type, err)
+	}
+	if !messagesEquivalent(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", m, got)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	roundTrip(t, &XPacket{
+		Header:  Header{Type: TypeX, From: 3, Session: 0xdeadbeef, Round: 7},
+		Seq:     42,
+		Payload: []byte{1, 2, 3, 255},
+	})
+	roundTrip(t, &AckReport{
+		Header: Header{Type: TypeAck, From: 1, Session: 9, Round: 2},
+		NumX:   100,
+		Bitmap: []uint64{0xffffffffffffffff, 0xf},
+	})
+	roundTrip(t, &YAnnounce{
+		Header: Header{Type: TypeYAnnounce, From: 0, Session: 1, Round: 0},
+		Classes: []ClassBatch{
+			{XIDs: []uint32{0, 5, 9}, Coeffs: [][]uint16{{1, 2, 3}, {4, 5, 6}}},
+			{XIDs: []uint32{7}, Coeffs: [][]uint16{{9}}},
+		},
+	})
+	roundTrip(t, &ZPacket{
+		Header:  Header{Type: TypeZ, From: 0, Session: 1, Round: 3},
+		Index:   2,
+		Coeffs:  []uint16{1, 0, 65535},
+		Payload: []byte{0xaa, 0xbb},
+	})
+	roundTrip(t, &SAnnounce{
+		Header: Header{Type: TypeSAnnounce, From: 0, Session: 1, Round: 3},
+		Coeffs: [][]uint16{{1, 2}, {3, 4}, {0, 0}},
+	})
+	roundTrip(t, &Beacon{
+		Header: Header{Type: TypeBeacon, From: 2, Session: 1, Round: 3},
+		Kind:   BeaconEndOfX,
+		Value:  90,
+	})
+}
+
+func TestRoundTripEmptyVectors(t *testing.T) {
+	roundTrip(t, &XPacket{Header: Header{Type: TypeX}, Payload: []byte{}})
+	roundTrip(t, &YAnnounce{Header: Header{Type: TypeYAnnounce}, Classes: []ClassBatch{}})
+	roundTrip(t, &SAnnounce{Header: Header{Type: TypeSAnnounce}, Coeffs: [][]uint16{}})
+	roundTrip(t, &AckReport{Header: Header{Type: TypeAck}, Bitmap: []uint64{}})
+	roundTrip(t, &ZPacket{Header: Header{Type: TypeZ}, Coeffs: []uint16{}, Payload: []byte{}})
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	m := &XPacket{Header: Header{Type: TypeX, From: 1}, Seq: 5, Payload: []byte{1, 2, 3}}
+	b := Marshal(m)
+	for i := range b {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x40
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	m := &AckReport{Header: Header{Type: TypeAck}, NumX: 64, Bitmap: []uint64{1}}
+	b := Marshal(m)
+	for n := 0; n < len(b); n++ {
+		if _, err := Unmarshal(b[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes undetected", n)
+		}
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	m := &XPacket{Header: Header{Type: TypeX}, Payload: []byte{1}}
+	b := Marshal(m)
+	// Rebuild the frame with an extra byte inside the checksummed region and
+	// a recomputed CRC, so only the trailing-bytes check can fire.
+	inner := append(append([]byte(nil), b[:len(b)-4]...), 0x00)
+	crc := crc32ChecksumIEEE(inner)
+	frame := append(inner, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	if _, err := Unmarshal(frame); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestBadMagicVersionType(t *testing.T) {
+	m := &XPacket{Header: Header{Type: TypeX}, Payload: []byte{1}}
+	mk := func(mut func([]byte)) error {
+		b := Marshal(m)
+		inner := append([]byte(nil), b[:len(b)-4]...)
+		mut(inner)
+		crc := crc32ChecksumIEEE(inner)
+		frame := append(inner, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+		_, err := Unmarshal(frame)
+		return err
+	}
+	if err := mk(func(b []byte) { b[0] = 'X' }); !errors.Is(err, ErrMagic) {
+		t.Fatalf("magic err = %v", err)
+	}
+	if err := mk(func(b []byte) { b[2] = 99 }); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version err = %v", err)
+	}
+	if err := mk(func(b []byte) { b[3] = 200 }); !errors.Is(err, ErrType) {
+		t.Fatalf("type err = %v", err)
+	}
+}
+
+func TestOversizeVectorRejected(t *testing.T) {
+	// A hostile length prefix must be rejected before allocation.
+	m := &XPacket{Header: Header{Type: TypeX}, Payload: []byte{1, 2, 3, 4}}
+	b := Marshal(m)
+	inner := append([]byte(nil), b[:len(b)-4]...)
+	// Payload length field sits right after header+seq.
+	off := 11 + 4
+	inner[off] = 0xff
+	inner[off+1] = 0xff
+	inner[off+2] = 0xff
+	inner[off+3] = 0xff
+	crc := crc32ChecksumIEEE(inner)
+	frame := append(inner, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	if _, err := Unmarshal(frame); !errors.Is(err, ErrSizeLimit) && !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v, want size/short error", err)
+	}
+}
+
+func TestRandomizedRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var m Message
+		h := Header{From: uint8(rng.Intn(8)), Session: rng.Uint32(), Round: uint16(rng.Intn(100))}
+		switch rng.Intn(5) {
+		case 0:
+			h.Type = TypeX
+			p := make([]byte, rng.Intn(200))
+			rng.Read(p)
+			m = &XPacket{Header: h, Seq: rng.Uint32(), Payload: p}
+		case 1:
+			h.Type = TypeAck
+			bm := make([]uint64, rng.Intn(4))
+			for i := range bm {
+				bm[i] = rng.Uint64()
+			}
+			m = &AckReport{Header: h, NumX: uint32(len(bm) * 64), Bitmap: bm}
+		case 2:
+			h.Type = TypeYAnnounce
+			classes := make([]ClassBatch, rng.Intn(4))
+			for i := range classes {
+				ids := make([]uint32, rng.Intn(6))
+				for j := range ids {
+					ids[j] = rng.Uint32() % 1000
+				}
+				rows := make([][]uint16, rng.Intn(3))
+				for j := range rows {
+					rows[j] = make([]uint16, len(ids))
+					for k := range rows[j] {
+						rows[j][k] = uint16(rng.Intn(65536))
+					}
+				}
+				classes[i] = ClassBatch{XIDs: ids, Coeffs: rows}
+			}
+			m = &YAnnounce{Header: h, Classes: classes}
+		case 3:
+			h.Type = TypeZ
+			cs := make([]uint16, rng.Intn(10))
+			for i := range cs {
+				cs[i] = uint16(rng.Intn(65536))
+			}
+			p := make([]byte, rng.Intn(100))
+			rng.Read(p)
+			m = &ZPacket{Header: h, Index: uint16(rng.Intn(10)), Coeffs: cs, Payload: p}
+		default:
+			h.Type = TypeSAnnounce
+			rows := make([][]uint16, rng.Intn(5))
+			for j := range rows {
+				rows[j] = make([]uint16, rng.Intn(8))
+				for k := range rows[j] {
+					rows[j][k] = uint16(rng.Intn(65536))
+				}
+			}
+			m = &SAnnounce{Header: h, Coeffs: rows}
+		}
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !messagesEquivalent(m, got) {
+			t.Fatalf("trial %d mismatch:\n in: %#v\nout: %#v", trial, m, got)
+		}
+	}
+}
+
+// messagesEquivalent compares messages treating nil and empty slices as
+// equal (the codec cannot distinguish them, by design).
+func messagesEquivalent(a, b Message) bool {
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *XPacket:
+		c := *v
+		if len(c.Payload) == 0 {
+			c.Payload = []byte{}
+		}
+		return &c
+	case *AckReport:
+		c := *v
+		if len(c.Bitmap) == 0 {
+			c.Bitmap = []uint64{}
+		}
+		return &c
+	case *YAnnounce:
+		c := *v
+		if len(c.Classes) == 0 {
+			c.Classes = []ClassBatch{}
+		}
+		for i := range c.Classes {
+			if len(c.Classes[i].XIDs) == 0 {
+				c.Classes[i].XIDs = []uint32{}
+			}
+			if len(c.Classes[i].Coeffs) == 0 {
+				c.Classes[i].Coeffs = [][]uint16{}
+			}
+			for j := range c.Classes[i].Coeffs {
+				if len(c.Classes[i].Coeffs[j]) == 0 {
+					c.Classes[i].Coeffs[j] = []uint16{}
+				}
+			}
+		}
+		return &c
+	case *ZPacket:
+		c := *v
+		if len(c.Coeffs) == 0 {
+			c.Coeffs = []uint16{}
+		}
+		if len(c.Payload) == 0 {
+			c.Payload = []byte{}
+		}
+		return &c
+	case *SAnnounce:
+		c := *v
+		if len(c.Coeffs) == 0 {
+			c.Coeffs = [][]uint16{}
+		}
+		for j := range c.Coeffs {
+			if len(c.Coeffs[j]) == 0 {
+				c.Coeffs[j] = []uint16{}
+			}
+		}
+		return &c
+	}
+	return m
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeX: "X", TypeAck: "ACK", TypeYAnnounce: "Y-ANNOUNCE",
+		TypeZ: "Z", TypeSAnnounce: "S-ANNOUNCE", TypeBeacon: "BEACON", Type(99): "Type(99)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func BenchmarkMarshalX(b *testing.B) {
+	m := &XPacket{Header: Header{Type: TypeX}, Seq: 1, Payload: make([]byte, 100)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshalX(b *testing.B) {
+	raw := Marshal(&XPacket{Header: Header{Type: TypeX}, Seq: 1, Payload: make([]byte, 100)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
