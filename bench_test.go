@@ -1,6 +1,7 @@
-// Benchmarks regenerating the paper's evaluation (DESIGN.md §4 maps each
-// to its figure/headline). They are sized to finish in seconds per
-// iteration; cmd/thinair-bench runs the full-size versions.
+// Benchmarks regenerating the paper's §4 evaluation (each benchmark's doc
+// comment names the figure or headline it reproduces). They are sized to
+// finish in seconds per iteration; cmd/thinair-bench runs the full-size
+// versions.
 //
 // Reported custom metrics use the paper's vocabulary:
 //
@@ -10,6 +11,7 @@
 package thinair
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -52,7 +54,7 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure1MonteCarlo(b *testing.B) {
 	var pts []figures.Fig1MCPoint
 	for i := 0; i < b.N; i++ {
-		pts = figures.Figure1MonteCarlo([]int{2, 6}, []float64{0.5}, 150, 4, int64(200+i))
+		pts = figures.Figure1MonteCarlo([]int{2, 6}, []float64{0.5}, 150, 4, 1, int64(200+i))
 	}
 	for _, pt := range pts {
 		if pt.N == 2 {
@@ -93,6 +95,31 @@ func BenchmarkFigure2(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure2Sweep measures the wall-time effect of the parallel
+// sweep engine on the same Figure-2 grid at different worker counts. The
+// tables produced are byte-identical across sub-benchmarks; on a machine
+// with >= 4 cores the workers=4 variant should run at least ~2x faster
+// per op than workers=1.
+func BenchmarkFigure2Sweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=numcpu"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := figures.Figure2(figures.Fig2Options{
+					Ns: []int{3, 6, 8}, XPerRound: 90, Rounds: 3,
+					MaxPlacements: 18, Seed: 11, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHeadlineEfficiency reproduces the n = 8 headline: minimum
 // efficiency (paper: 0.038) and the secret rate at 1 Mbps (paper: 38 kbps)
 // over the full 9-placement set.
@@ -100,7 +127,7 @@ func BenchmarkHeadlineEfficiency(b *testing.B) {
 	var h *figures.HeadlineResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		h, err = figures.Headline(figures.Fig2Options{XPerRound: 90, Rounds: 3, Seed: 11})
+		h, err = figures.Headline(figures.Fig2Options{XPerRound: 90, Rounds: 3, Seed: 11, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +142,7 @@ func BenchmarkHeadlineEfficiency(b *testing.B) {
 func BenchmarkRotationWorstCase(b *testing.B) {
 	var with, without *figures.RotationResult
 	for i := 0; i < b.N; i++ {
-		opt := figures.Fig2Options{XPerRound: 90, Rounds: 3, MaxPlacements: 18, Seed: 11}
+		opt := figures.Fig2Options{XPerRound: 90, Rounds: 3, MaxPlacements: 18, Seed: 11, Workers: 1}
 		var err error
 		with, err = figures.RotationCheck(4, true, opt)
 		if err != nil {
@@ -149,7 +176,7 @@ func BenchmarkAblationEstimators(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = figures.AblationEstimators(5, figures.Fig2Options{
-			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13, Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -165,7 +192,7 @@ func BenchmarkAblationAllocation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = figures.AblationAllocation(5, figures.Fig2Options{
-			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13, Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -180,7 +207,7 @@ func BenchmarkAblationInterference(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = figures.AblationInterference(5, figures.Fig2Options{
-			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13, Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -195,7 +222,7 @@ func BenchmarkAblationRotation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = figures.AblationRotation(5, figures.Fig2Options{
-			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13, Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -230,7 +257,7 @@ func BenchmarkAblationSelfJam(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = figures.AblationSelfJam(5, figures.Fig2Options{
-			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13, Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -245,7 +272,7 @@ func BenchmarkAblationBurstiness(b *testing.B) {
 	var rows []figures.AblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = figures.AblationBurstiness(5, 20, 11)
+		rows, err = figures.AblationBurstiness(5, 20, 1, 11)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -261,7 +288,7 @@ func BenchmarkAblationCancellingEve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = figures.AblationCancellingEve(5, figures.Fig2Options{
-			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13,
+			XPerRound: 90, Rounds: 2, MaxPlacements: 12, Seed: 13, Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -32,10 +32,11 @@ func main() {
 		quick    = flag.Bool("quick", false, "subsample placements for a fast run")
 		seed     = flag.Int64("seed", 11, "experiment seed")
 		n        = flag.Int("n", 5, "group size for ablations and the rotation check")
+		workers  = flag.Int("workers", 0, "experiments evaluated concurrently (0 = one per CPU); output is identical for any value")
 	)
 	flag.Parse()
 
-	opt := figures.Fig2Options{Seed: *seed}
+	opt := figures.Fig2Options{Seed: *seed, Workers: *workers}
 	if *quick {
 		opt.MaxPlacements = 24
 	}
@@ -43,7 +44,7 @@ func main() {
 	ran := false
 	if *all || *figure == 1 {
 		ran = true
-		fig1()
+		fig1(*workers)
 	}
 	if *all || *figure == 2 {
 		ran = true
@@ -72,11 +73,11 @@ func main() {
 	}
 }
 
-func fig1() {
+func fig1(workers int) {
 	curves := figures.Figure1([]int{2, 3, 6, 10, 0}, 20)
 	fmt.Println(figures.FormatFigure1(curves))
 	fmt.Println(figures.PlotFigure1(curves, 64, 14))
-	pts := figures.Figure1MonteCarlo([]int{2, 3, 6}, []float64{0.3, 0.5, 0.7}, 200, 8, 101)
+	pts := figures.Figure1MonteCarlo([]int{2, 3, 6}, []float64{0.3, 0.5, 0.7}, 200, 8, workers, 101)
 	fmt.Println(figures.FormatFigure1MC(pts))
 }
 
@@ -122,7 +123,7 @@ func ablate(kind string, n int, opt figures.Fig2Options) {
 		if opt.MaxPlacements > 0 {
 			sessions = 20
 		}
-		rows, err = figures.AblationBurstiness(n, sessions, opt.Seed)
+		rows, err = figures.AblationBurstiness(n, sessions, opt.Workers, opt.Seed)
 	case "cancelling-eve":
 		rows, err = figures.AblationCancellingEve(n, opt)
 	default:

@@ -1,6 +1,5 @@
 // Command thinair-calibrate documents the channel-parameter sensitivity
-// behind the testbed defaults (DESIGN.md §5, EXPERIMENTS.md calibration
-// notes): it sweeps the jamming strength and the base loss and reports how
+// behind the testbed defaults: it sweeps the jamming strength and the base loss and reports how
 // efficiency and reliability respond, for a fixed group size over a
 // subsampled placement set.
 //

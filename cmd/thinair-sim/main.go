@@ -1,23 +1,30 @@
-// Command thinair-sim runs a single protocol experiment and prints its
-// metrics: either on a symmetric erasure channel (-erasure) or on the
-// paper's 3×3-cell testbed with rotating interference (-cells).
+// Command thinair-sim runs protocol experiments and prints their metrics:
+// either on a symmetric erasure channel (-erasure) or on the paper's
+// 3×3-cell testbed with rotating interference (-cells). With -repeat k it
+// fans k independently seeded replicas of the experiment out over the
+// deterministic sweep engine (-workers goroutines) and reports aggregate
+// statistics; the output is identical for every worker count.
 //
 // Examples:
 //
 //	thinair-sim -n 3 -erasure 0.4 -rounds 2
 //	thinair-sim -n 4 -cells 0,2,6,8 -eve 4 -estimator loo
 //	thinair-sim -n 3 -erasure 0.5 -estimator oracle -antennas 2
+//	thinair-sim -n 3 -erasure 0.5 -repeat 64 -workers 8
 package main
 
 import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 
@@ -37,48 +44,74 @@ func main() {
 		rotate    = flag.Bool("rotate", true, "rotate the leader role")
 		antennas  = flag.Int("antennas", 1, "Eve antennas (symmetric channel only)")
 		seed      = flag.Int64("seed", 1, "seed")
-		traceOut  = flag.String("trace", "", "emit a structured round trace: 'text' or 'json'")
+		repeat    = flag.Int("repeat", 1, "number of independently seeded replicas of the experiment")
+		workers   = flag.Int("workers", 0, "replicas evaluated concurrently (0 = one per CPU)")
+		traceOut  = flag.String("trace", "", "emit a structured round trace: 'text' or 'json' (single run only)")
 	)
 	flag.Parse()
 
 	est, err := parseEstimator(*estimator)
 	fatal(err)
+	if *repeat > 1 && *traceOut != "" {
+		fatal(fmt.Errorf("-trace requires -repeat 1"))
+	}
 
 	var log *trace.Log
 	if *traceOut != "" {
 		log = trace.NewLog()
 	}
 
-	var res *thinair.SessionResult
-	switch {
-	case *cells != "":
-		tc, err := parseCells(*cells)
+	var tc []thinair.Cell
+	if *cells != "" {
+		var err error
+		tc, err = parseCells(*cells)
 		fatal(err)
 		if len(tc) != *n {
 			fatal(fmt.Errorf("-cells lists %d cells but -n is %d", len(tc), *n))
 		}
-		res, err = thinair.RunExperiment(&thinair.Experiment{
-			Placement: thinair.Placement{EveCell: thinair.Cell(*eveCell), TerminalCells: tc},
-			Channel:   thinair.DefaultChannel(),
-			Protocol: thinair.Config{
-				XPerRound: *xPerRound, PayloadBytes: *payload,
-				Rounds: *rounds, Rotate: *rotate, Estimator: est, Seed: *seed,
-				Tracer: tracerOrNil(log),
-			},
-			Seed: *seed + 1,
-		})
-		fatal(err)
-	case *erasure >= 0:
-		res, err = thinair.Simulate(thinair.SimOptions{
-			Terminals: *n, Erasure: *erasure, XPerRound: *xPerRound,
-			PayloadBytes: *payload, Rounds: *rounds, Rotate: *rotate,
-			Estimator: est, EveAntennas: *antennas, Seed: *seed,
-			Tracer: tracerOrNil(log),
-		})
-		fatal(err)
-	default:
-		fatal(fmt.Errorf("specify either -erasure or -cells"))
 	}
+
+	// run executes one replica; replica 0 reuses the base seed so a plain
+	// single run stays byte-identical to earlier releases.
+	run := func(replica int) (*thinair.SessionResult, error) {
+		rs := *seed
+		if replica > 0 {
+			rs = sweep.Seed(*seed, replica)
+		}
+		switch {
+		case *cells != "":
+			return thinair.RunExperiment(&thinair.Experiment{
+				Placement: thinair.Placement{EveCell: thinair.Cell(*eveCell), TerminalCells: tc},
+				Channel:   thinair.DefaultChannel(),
+				Protocol: thinair.Config{
+					XPerRound: *xPerRound, PayloadBytes: *payload,
+					Rounds: *rounds, Rotate: *rotate, Estimator: est, Seed: rs,
+					Tracer: tracerOrNil(log),
+				},
+				Seed: rs + 1,
+			})
+		case *erasure >= 0:
+			return thinair.Simulate(thinair.SimOptions{
+				Terminals: *n, Erasure: *erasure, XPerRound: *xPerRound,
+				PayloadBytes: *payload, Rounds: *rounds, Rotate: *rotate,
+				Estimator: est, EveAntennas: *antennas, Seed: rs,
+				Tracer: tracerOrNil(log),
+			})
+		}
+		return nil, fmt.Errorf("specify either -erasure or -cells")
+	}
+
+	if *repeat > 1 {
+		results, err := sweep.Run(*workers, *repeat, func(i int) (*thinair.SessionResult, error) {
+			return run(i)
+		})
+		fatal(err)
+		printAggregate(results)
+		return
+	}
+
+	res, err := run(0)
+	fatal(err)
 
 	fmt.Printf("terminals:        %d\n", *n)
 	fmt.Printf("rounds:           %d\n", len(res.Rounds))
@@ -104,6 +137,32 @@ func main() {
 			fatal(log.WriteText(os.Stdout))
 		}
 	}
+}
+
+// printAggregate summarizes a -repeat batch: per-replica one-liners plus
+// the sweep-style efficiency/reliability summary.
+func printAggregate(results []*thinair.SessionResult) {
+	var eff, rel []float64
+	noSecret := 0
+	for i, r := range results {
+		digest := sha256.Sum256(r.Secret)
+		fmt.Printf("replica %3d: secret %4dB eff %.4f rel %6.3f key=%x…\n",
+			i, len(r.Secret), r.Efficiency, r.Reliability, digest[:8])
+		eff = append(eff, r.Efficiency)
+		if math.IsNaN(r.Reliability) {
+			noSecret++
+			continue
+		}
+		rel = append(rel, r.Reliability)
+	}
+	es := stats.Summarize(eff)
+	rs := stats.Summarize(rel)
+	if len(rel) == 0 {
+		rs.Min, rs.P50, rs.Mean = math.NaN(), math.NaN(), math.NaN()
+	}
+	fmt.Printf("\nreplicas:    %d (%d produced no secret)\n", len(results), noSecret)
+	fmt.Printf("efficiency:  min %.4f  p50 %.4f  mean %.4f\n", es.Min, es.P50, es.Mean)
+	fmt.Printf("reliability: min %.3f  p50 %.3f  mean %.3f\n", rs.Min, rs.P50, rs.Mean)
 }
 
 // tracerOrNil avoids storing a typed nil in the Tracer interface field.

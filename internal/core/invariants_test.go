@@ -8,7 +8,7 @@ import (
 	"repro/internal/packet"
 )
 
-// The joint-secrecy argument (DESIGN.md §3) rests on structural invariants
+// The paper's joint-secrecy argument rests on structural invariants
 // of the plan; this file checks them over randomized reception patterns
 // with testing/quick driving the randomness.
 

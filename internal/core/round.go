@@ -119,16 +119,15 @@ func ComputeTerminalSecret(
 				return nil, fmt.Errorf("core: class coefficient row %d has %d entries for %d x-packets", r, len(row), len(batch.XIDs))
 			}
 			if have {
-				var y []Sym
-				for c, id := range batch.XIDs {
-					p := recv[packet.ID(id)]
-					if y == nil {
-						y = make([]Sym, len(p))
-					}
-					f.AddMulSlice(y, p, row[c])
+				// All x-payloads in a round share one symbol width, so the
+				// combination is a clean run of gf bulk-kernel calls over a
+				// preallocated accumulator.
+				y := []Sym{} // zero-width class (no x-ids): degenerate
+				if len(batch.XIDs) > 0 {
+					y = make([]Sym, len(recv[packet.ID(batch.XIDs[0])]))
 				}
-				if y == nil { // zero-width class (no x-ids): degenerate
-					y = []Sym{}
+				for c, id := range batch.XIDs {
+					f.AddMulSlice(y, recv[packet.ID(id)], row[c])
 				}
 				known[global] = y
 			}
@@ -167,15 +166,12 @@ func ComputeTerminalSecret(
 		if len(row) != m {
 			return nil, fmt.Errorf("core: s-coefficient row %d has %d entries, want %d", i, len(row), m)
 		}
-		var s []Sym
-		for j, c := range row {
-			if s == nil {
-				s = make([]Sym, len(full[j]))
-			}
-			f.AddMulSlice(s, full[j], c)
+		s := []Sym{}
+		if m > 0 {
+			s = make([]Sym, len(full[0]))
 		}
-		if s == nil {
-			s = []Sym{}
+		for j, c := range row {
+			f.AddMulSlice(s, full[j], c)
 		}
 		secret[i] = s
 	}

@@ -1,0 +1,109 @@
+package figures
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The parallel sweep engine's contract is that worker count never changes
+// output: every job derives its randomness from (seed, job index) and
+// partial results are folded in enumeration order. These regression tests
+// pin that contract at the table level — the formatted text a reader of
+// the reproduction actually consumes — by comparing byte-for-byte across
+// worker counts.
+
+func requireIdentical(t *testing.T, name string, render func(workers int) string) {
+	t.Helper()
+	ref := render(1)
+	if ref == "" {
+		t.Fatalf("%s: empty serial output", name)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != ref {
+			t.Errorf("%s: workers=%d output differs from serial\n--- workers=1\n%s\n--- workers=%d\n%s",
+				name, workers, ref, workers, got)
+		}
+	}
+}
+
+func TestFigure2DeterministicAcrossWorkers(t *testing.T) {
+	requireIdentical(t, "figure2", func(workers int) string {
+		rows, err := Figure2(Fig2Options{
+			Ns: []int{3, 4}, XPerRound: 36, Rounds: 2, PayloadBytes: 8,
+			MaxPlacements: 12, Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFigure2(rows)
+	})
+}
+
+func TestAblationsDeterministicAcrossWorkers(t *testing.T) {
+	opt := Fig2Options{XPerRound: 27, Rounds: 1, PayloadBytes: 8, MaxPlacements: 6, Seed: 13}
+	ablations := []struct {
+		name string
+		run  func(Fig2Options) ([]AblationRow, error)
+	}{
+		{"estimators", func(o Fig2Options) ([]AblationRow, error) { return AblationEstimators(4, o) }},
+		{"allocation", func(o Fig2Options) ([]AblationRow, error) { return AblationAllocation(4, o) }},
+		{"rotation", func(o Fig2Options) ([]AblationRow, error) { return AblationRotation(4, o) }},
+		{"selfjam", func(o Fig2Options) ([]AblationRow, error) { return AblationSelfJam(4, o) }},
+		{"cancelling-eve", func(o Fig2Options) ([]AblationRow, error) { return AblationCancellingEve(4, o) }},
+	}
+	for _, a := range ablations {
+		requireIdentical(t, a.name, func(workers int) string {
+			o := opt
+			o.Workers = workers
+			rows, err := a.run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatAblation(a.name, rows)
+		})
+	}
+}
+
+func TestBurstinessDeterministicAcrossWorkers(t *testing.T) {
+	requireIdentical(t, "burstiness", func(workers int) string {
+		rows, err := AblationBurstiness(3, 6, workers, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatAblation("burstiness", rows)
+	})
+}
+
+func TestRotationCheckDeterministicAcrossWorkers(t *testing.T) {
+	requireIdentical(t, "rotation-check", func(workers int) string {
+		opt := Fig2Options{XPerRound: 27, Rounds: 2, PayloadBytes: 8, MaxPlacements: 6, Seed: 9, Workers: workers}
+		with, err := RotationCheck(3, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := RotationCheck(3, false, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare the raw aggregates, not just the 3-decimal table, so a
+		// fold-order regression cannot hide behind rounding.
+		return fmt.Sprintf("%+v\n%+v\n%s", with, without, FormatRotation(with, without))
+	})
+}
+
+func TestFigure1MonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	requireIdentical(t, "figure1-mc", func(workers int) string {
+		pts := Figure1MonteCarlo([]int{2, 3}, []float64{0.3, 0.5}, 60, 4, workers, 77)
+		return fmt.Sprintf("%+v\n%s", pts, FormatFigure1MC(pts))
+	})
+}
+
+func TestHeadlineDeterministicAcrossWorkers(t *testing.T) {
+	requireIdentical(t, "headline", func(workers int) string {
+		h, err := Headline(Fig2Options{XPerRound: 36, Rounds: 1, PayloadBytes: 8, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatHeadline(h)
+	})
+}

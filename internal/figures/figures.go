@@ -1,6 +1,6 @@
 // Package figures regenerates every figure and headline number of the
-// paper's evaluation, as indexed in DESIGN.md §4. It is the single source
-// used by cmd/thinair-bench, the root bench suite, and EXPERIMENTS.md.
+// paper's §4 evaluation. It is the single source used by
+// cmd/thinair-bench and the root bench suite.
 package figures
 
 import (
@@ -11,9 +11,17 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/radio"
+	"repro/internal/sweep"
 	"repro/internal/testbed"
 	"repro/internal/unicast"
 )
+
+// Every sweep in this package — placements, Monte-Carlo sessions,
+// ablation cells — is evaluated on the internal/sweep worker pool. Jobs
+// derive their seeds from (base seed, job index) with the package's
+// historical linear formulas (so published tables keep their values), and
+// partial results are folded in enumeration order, which makes every
+// table byte-identical for any worker count.
 
 // ---------------------------------------------------------------------------
 // Figure 1: maximum efficiency vs erasure probability.
@@ -95,27 +103,56 @@ type Fig1MCPoint struct {
 }
 
 // Figure1MonteCarlo runs the protocol on symmetric erasure channels and
-// reports measured vs analytic efficiency.
-func Figure1MonteCarlo(ns []int, ps []float64, xPerRound, sessions int, seed int64) []Fig1MCPoint {
+// reports measured vs analytic efficiency. Sessions fan out over workers
+// goroutines (0 = one per CPU); the result is identical for any count.
+func Figure1MonteCarlo(ns []int, ps []float64, xPerRound, sessions, workers int, seed int64) []Fig1MCPoint {
+	type job struct {
+		n int
+		p float64
+		s int
+	}
+	var jobs []job
+	for _, n := range ns {
+		for _, p := range ps {
+			for s := 0; s < sessions; s++ {
+				jobs = append(jobs, job{n: n, p: p, s: s})
+			}
+		}
+	}
+	type tally struct {
+		secret, spent int64
+	}
+	tallies, err := sweep.Run(workers, len(jobs), func(i int) (tally, error) {
+		j := jobs[i]
+		cfg := core.Config{
+			Terminals: j.n, XPerRound: xPerRound, PayloadBytes: 8,
+			Estimator: core.Oracle{}, Pooling: core.ExactPooling{},
+			Seed: seed + int64(j.s)*31 + int64(j.n)*1009,
+		}
+		med := radio.NewMedium(radio.Uniform{P: j.p}, j.n+1, seed+int64(j.s)*977+int64(j.n))
+		res, err := core.RunSession(cfg, med, []radio.NodeID{radio.NodeID(j.n)})
+		if err != nil {
+			return tally{}, err
+		}
+		var t tally
+		for _, ri := range res.Rounds {
+			t.secret += int64(ri.L)
+			t.spent += int64(ri.NumX + ri.M - ri.L)
+		}
+		return t, nil
+	})
+	if err != nil {
+		panic(err) // static configs; cannot fail
+	}
 	var out []Fig1MCPoint
+	i := 0
 	for _, n := range ns {
 		for _, p := range ps {
 			var secret, spent int64
 			for s := 0; s < sessions; s++ {
-				cfg := core.Config{
-					Terminals: n, XPerRound: xPerRound, PayloadBytes: 8,
-					Estimator: core.Oracle{}, Pooling: core.ExactPooling{},
-					Seed: seed + int64(s)*31 + int64(n)*1009,
-				}
-				med := radio.NewMedium(radio.Uniform{P: p}, n+1, seed+int64(s)*977+int64(n))
-				res, err := core.RunSession(cfg, med, []radio.NodeID{radio.NodeID(n)})
-				if err != nil {
-					panic(err) // static configs; cannot fail
-				}
-				for _, ri := range res.Rounds {
-					secret += int64(ri.L)
-					spent += int64(ri.NumX + ri.M - ri.L)
-				}
+				secret += tallies[i].secret
+				spent += tallies[i].spent
+				i++
 			}
 			pt := Fig1MCPoint{
 				N: n, P: p, Sessions: sessions,
@@ -160,8 +197,11 @@ type Fig2Options struct {
 	// MaxPlacements bounds the per-n placement count (0 = every
 	// placement, as the paper runs it).
 	MaxPlacements int
-	Seed          int64
-	Channel       *testbed.Channel
+	// Workers is the number of experiments evaluated concurrently
+	// (0 = one per CPU). Output is byte-identical for any value.
+	Workers int
+	Seed    int64
+	Channel *testbed.Channel
 }
 
 func (o *Fig2Options) fill() {
@@ -198,6 +238,7 @@ func Figure2(opt Fig2Options) ([]*testbed.SweepResult, error) {
 			Channel:       *opt.Channel,
 			Seed:          opt.Seed,
 			MaxPlacements: opt.MaxPlacements,
+			Workers:       opt.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -290,20 +331,16 @@ type RotationResult struct {
 // placement set.
 func RotationCheck(n int, rotate bool, opt Fig2Options) (*RotationResult, error) {
 	opt.fill()
-	placements := testbed.EnumeratePlacements(n)
-	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
-		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
-		var sub []testbed.Placement
-		for i := 0; i < len(placements); i += stride {
-			sub = append(sub, placements[i])
-		}
-		placements = sub
+	placements := testbed.SubsamplePlacements(testbed.EnumeratePlacements(n), opt.MaxPlacements)
+	type cell struct {
+		rounds, covered int
+		allCovered      bool
+		overlapSum      float64
+		best            float64
 	}
-	out := &RotationResult{Experiments: len(placements)}
-	var overlapSum, riskSum float64
-	for i, pl := range placements {
+	cells, err := sweep.Run(opt.Workers, len(placements), func(i int) (cell, error) {
 		ex := &testbed.Experiment{
-			Placement: pl,
+			Placement: placements[i],
 			Channel:   *opt.Channel,
 			Protocol: core.Config{
 				XPerRound:    opt.XPerRound,
@@ -316,27 +353,37 @@ func RotationCheck(n int, rotate bool, opt Fig2Options) (*RotationResult, error)
 		}
 		res, err := ex.Run()
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		allCovered := true
-		best := math.Inf(1)
+		c := cell{allCovered: true, best: math.Inf(1)}
 		for _, ri := range res.Rounds {
-			out.RoundsTotal++
-			overlapSum += ri.MaxEveOverlap
-			if ri.MaxEveOverlap < best {
-				best = ri.MaxEveOverlap
+			c.rounds++
+			c.overlapSum += ri.MaxEveOverlap
+			if ri.MaxEveOverlap < c.best {
+				c.best = ri.MaxEveOverlap
 			}
 			if ri.EveCoveredTerminals > 0 {
-				out.RoundsEveCovered++
+				c.covered++
 			} else {
-				allCovered = false
+				c.allCovered = false
 			}
 		}
-		if allCovered {
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &RotationResult{Experiments: len(placements)}
+	var overlapSum, riskSum float64
+	for _, c := range cells {
+		out.RoundsTotal += c.rounds
+		out.RoundsEveCovered += c.covered
+		overlapSum += c.overlapSum
+		if c.allCovered {
 			out.SessionsAllCovered++
 		}
-		if !math.IsInf(best, 1) {
-			riskSum += best
+		if !math.IsInf(c.best, 1) {
+			riskSum += c.best
 		}
 	}
 	if out.RoundsTotal > 0 {
@@ -463,21 +510,49 @@ func runAblation(name string, n int, opt Fig2Options, mutate func(*core.Config))
 	return runAblationCustom(name, n, opt, mutate, false)
 }
 
-func runAblationCustom(name string, n int, opt Fig2Options, mutate func(*core.Config), useUnicast bool) (*AblationRow, error) {
-	opt.fill()
-	placements := testbed.EnumeratePlacements(n)
-	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
-		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
-		var sub []testbed.Placement
-		for i := 0; i < len(placements); i += stride {
-			sub = append(sub, placements[i])
-		}
-		placements = sub
-	}
+// ablationCell is one experiment's contribution to an AblationRow.
+type ablationCell struct {
+	eff float64
+	rel float64
+}
+
+// foldAblation aggregates per-experiment cells, in enumeration order, into
+// a row. Shared by every ablation so each aggregates identically.
+func foldAblation(name string, cells []ablationCell) *AblationRow {
 	row := &AblationRow{Name: name, MinReliab: math.Inf(1)}
 	var rels []float64
 	var effSum float64
-	for i, pl := range placements {
+	for _, c := range cells {
+		effSum += c.eff
+		if math.IsNaN(c.rel) {
+			row.NoSecretCount++
+			continue
+		}
+		rels = append(rels, c.rel)
+		if c.rel < row.MinReliab {
+			row.MinReliab = c.rel
+		}
+	}
+	row.MeanEff = effSum / float64(len(cells))
+	if len(rels) > 0 {
+		sum := 0.0
+		for _, r := range rels {
+			sum += r
+		}
+		row.MeanReliab = sum / float64(len(rels))
+		row.P50Reliab = medianOf(rels)
+	} else {
+		row.MinReliab = math.NaN()
+		row.MeanReliab = math.NaN()
+		row.P50Reliab = math.NaN()
+	}
+	return row
+}
+
+func runAblationCustom(name string, n int, opt Fig2Options, mutate func(*core.Config), useUnicast bool) (*AblationRow, error) {
+	opt.fill()
+	placements := testbed.SubsamplePlacements(testbed.EnumeratePlacements(n), opt.MaxPlacements)
+	cells, err := sweep.Run(opt.Workers, len(placements), func(i int) (ablationCell, error) {
 		cfg := core.Config{
 			XPerRound:    opt.XPerRound,
 			PayloadBytes: opt.PayloadBytes,
@@ -494,38 +569,20 @@ func runAblationCustom(name string, n int, opt Fig2Options, mutate func(*core.Co
 		if useUnicast {
 			// Build the medium the same way testbed.Experiment does, but
 			// run the unicast session.
-			res, err = runUnicastOnPlacement(pl, *opt.Channel, cfg, opt.Seed+int64(i)*104729+1)
+			res, err = runUnicastOnPlacement(placements[i], *opt.Channel, cfg, opt.Seed+int64(i)*104729+1)
 		} else {
-			ex := &testbed.Experiment{Placement: pl, Channel: *opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
+			ex := &testbed.Experiment{Placement: placements[i], Channel: *opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
 			res, err = ex.Run()
 		}
 		if err != nil {
-			return nil, err
+			return ablationCell{}, err
 		}
-		effSum += res.Efficiency
-		if math.IsNaN(res.Reliability) {
-			row.NoSecretCount++
-			continue
-		}
-		rels = append(rels, res.Reliability)
-		if res.Reliability < row.MinReliab {
-			row.MinReliab = res.Reliability
-		}
+		return ablationCell{eff: res.Efficiency, rel: res.Reliability}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	row.MeanEff = effSum / float64(len(placements))
-	if len(rels) > 0 {
-		sum := 0.0
-		for _, r := range rels {
-			sum += r
-		}
-		row.MeanReliab = sum / float64(len(rels))
-		row.P50Reliab = medianOf(rels)
-	} else {
-		row.MinReliab = math.NaN()
-		row.MeanReliab = math.NaN()
-		row.P50Reliab = math.NaN()
-	}
-	return row, nil
+	return foldAblation(name, cells), nil
 }
 
 func medianOf(xs []float64) float64 {
@@ -609,8 +666,9 @@ func AblationSelfJam(n int, opt Fig2Options) ([]AblationRow, error) {
 // model Eve's misses as independent per packet, but real indoor channels
 // lose packets in bursts. Compare an iid channel against Gilbert-Elliott
 // channels with the SAME stationary loss but increasing burst lengths
-// (sessions on a symmetric medium, leave-one-out estimator).
-func AblationBurstiness(n, sessions int, seed int64) ([]AblationRow, error) {
+// (sessions on a symmetric medium, leave-one-out estimator). Sessions fan
+// out over workers goroutines (0 = one per CPU).
+func AblationBurstiness(n, sessions, workers int, seed int64) ([]AblationRow, error) {
 	type channel struct {
 		name  string
 		model func(s int64) radio.ErasureModel
@@ -628,10 +686,7 @@ func AblationBurstiness(n, sessions int, seed int64) ([]AblationRow, error) {
 	}
 	var rows []AblationRow
 	for _, ch := range channels {
-		row := AblationRow{Name: ch.name, MinReliab: math.Inf(1)}
-		var rels []float64
-		var effSum float64
-		for s := 0; s < sessions; s++ {
+		cells, err := sweep.Run(workers, sessions, func(s int) (ablationCell, error) {
 			med := radio.NewMedium(ch.model(seed+int64(s)*13), n+1, seed+int64(s)*7)
 			res, err := core.RunSession(core.Config{
 				Terminals: n, XPerRound: 90, PayloadBytes: 100,
@@ -639,32 +694,14 @@ func AblationBurstiness(n, sessions int, seed int64) ([]AblationRow, error) {
 				SlotsPerRound: 90, // every packet gets its own slot: bursts bite
 			}, med, []radio.NodeID{radio.NodeID(n)})
 			if err != nil {
-				return nil, err
+				return ablationCell{}, err
 			}
-			effSum += res.Efficiency
-			if math.IsNaN(res.Reliability) {
-				row.NoSecretCount++
-				continue
-			}
-			rels = append(rels, res.Reliability)
-			if res.Reliability < row.MinReliab {
-				row.MinReliab = res.Reliability
-			}
+			return ablationCell{eff: res.Efficiency, rel: res.Reliability}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		row.MeanEff = effSum / float64(sessions)
-		if len(rels) > 0 {
-			sum := 0.0
-			for _, r := range rels {
-				sum += r
-			}
-			row.MeanReliab = sum / float64(len(rels))
-			row.P50Reliab = medianOf(rels)
-		} else {
-			row.MinReliab = math.NaN()
-			row.MeanReliab = math.NaN()
-			row.P50Reliab = math.NaN()
-		}
-		rows = append(rows, row)
+		rows = append(rows, *foldAblation(ch.name, cells))
 	}
 	return rows, nil
 }
@@ -685,23 +722,12 @@ func AblationCancellingEve(n int, opt Fig2Options) ([]AblationRow, error) {
 		{"eve-cancelling/loo", true, core.LeaveOneOut{}},
 		{"eve-cancelling/ksubset2", true, core.KSubset{K: 2}},
 	}
-	placements := testbed.EnumeratePlacements(n)
-	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
-		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
-		var sub []testbed.Placement
-		for i := 0; i < len(placements); i += stride {
-			sub = append(sub, placements[i])
-		}
-		placements = sub
-	}
+	placements := testbed.SubsamplePlacements(testbed.EnumeratePlacements(n), opt.MaxPlacements)
 	var rows []AblationRow
 	for _, tc := range cases {
-		row := AblationRow{Name: tc.name, MinReliab: math.Inf(1)}
-		var rels []float64
-		var effSum float64
-		for i, pl := range placements {
+		cells, err := sweep.Run(opt.Workers, len(placements), func(i int) (ablationCell, error) {
 			ex := &testbed.Experiment{
-				Placement: pl,
+				Placement: placements[i],
 				Channel:   *opt.Channel,
 				Protocol: core.Config{
 					XPerRound: opt.XPerRound, PayloadBytes: opt.PayloadBytes,
@@ -713,32 +739,14 @@ func AblationCancellingEve(n int, opt Fig2Options) ([]AblationRow, error) {
 			}
 			res, err := ex.Run()
 			if err != nil {
-				return nil, err
+				return ablationCell{}, err
 			}
-			effSum += res.Efficiency
-			if math.IsNaN(res.Reliability) {
-				row.NoSecretCount++
-				continue
-			}
-			rels = append(rels, res.Reliability)
-			if res.Reliability < row.MinReliab {
-				row.MinReliab = res.Reliability
-			}
+			return ablationCell{eff: res.Efficiency, rel: res.Reliability}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		row.MeanEff = effSum / float64(len(placements))
-		if len(rels) > 0 {
-			sum := 0.0
-			for _, r := range rels {
-				sum += r
-			}
-			row.MeanReliab = sum / float64(len(rels))
-			row.P50Reliab = medianOf(rels)
-		} else {
-			row.MinReliab = math.NaN()
-			row.MeanReliab = math.NaN()
-			row.P50Reliab = math.NaN()
-		}
-		rows = append(rows, row)
+		rows = append(rows, *foldAblation(tc.name, cells))
 	}
 	return rows, nil
 }

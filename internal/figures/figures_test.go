@@ -48,7 +48,7 @@ func TestFigure1ShapeClaims(t *testing.T) {
 }
 
 func TestFigure1MonteCarloMatchesAnalytic(t *testing.T) {
-	pts := Figure1MonteCarlo([]int{2, 4}, []float64{0.3, 0.5}, 120, 6, 77)
+	pts := Figure1MonteCarlo([]int{2, 4}, []float64{0.3, 0.5}, 120, 6, 0, 77)
 	if len(pts) != 4 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -195,7 +195,7 @@ func TestAblationSelfJam(t *testing.T) {
 }
 
 func TestAblationBurstiness(t *testing.T) {
-	rows, err := AblationBurstiness(3, 4, 9)
+	rows, err := AblationBurstiness(3, 4, 0, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

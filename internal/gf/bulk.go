@@ -1,0 +1,146 @@
+package gf
+
+import "unsafe"
+
+// Bulk kernels. MulSlice and AddMulSlice are the inner loops of every
+// matrix product, elimination step and packet combination in the
+// repository, so they use the classic Reed-Solomon idiom instead of a
+// log/exp lookup per symbol:
+//
+//   - coefficient 1 degenerates to a plain XOR, performed 64 bits at a
+//     time over the co-aligned middle of the two slices;
+//   - GF(2^8) keeps a full 256x256 product table (64 KiB, built once with
+//     the field), so c*s is one unconditional L1 lookup;
+//   - GF(2^16) cannot afford the full table (8 GiB), so for long slices
+//     the kernels build a per-coefficient product row split into low- and
+//     high-byte halves (512 entries, 1 KiB): c*s = low[s&0xff] ^ high[s>>8].
+//     Short slices stay on the branchy log/exp path, which beats paying
+//     the 512-multiplication table build.
+
+const (
+	wordBytes = 8
+	// bulkMin16 is the GF(2^16) slice length above which building the
+	// 512-entry per-coefficient product row pays for itself (tuned with
+	// BenchmarkAddMulSlice; the crossover is well under one cache line
+	// of table build per eight symbols processed).
+	bulkMin16 = 96
+)
+
+// xorSlice computes dst[i] ^= src[i]. The middle of the two slices is
+// processed as 64-bit words when both have the same alignment remainder;
+// the (at most 7-byte) head and tail fall back to element operations.
+func xorSlice[E Elem](dst, src []E) {
+	n := len(dst)
+	i := 0
+	if n > 0 {
+		elem := int(unsafe.Sizeof(dst[0]))
+		if n*elem >= 2*wordBytes {
+			dp := uintptr(unsafe.Pointer(&dst[0]))
+			sp := uintptr(unsafe.Pointer(&src[0]))
+			if dp%wordBytes == sp%wordBytes {
+				// Element alignment guarantees the byte skip divides
+				// evenly into elements (elem is 1 or 2 and dp%elem == 0).
+				head := int((wordBytes-dp%wordBytes)%wordBytes) / elem
+				for ; i < head; i++ {
+					dst[i] ^= src[i]
+				}
+				words := (n - head) * elem / wordBytes
+				dw := unsafe.Slice((*uint64)(unsafe.Pointer(&dst[head])), words)
+				sw := unsafe.Slice((*uint64)(unsafe.Pointer(&src[head])), words)
+				for w := range dw {
+					dw[w] ^= sw[w]
+				}
+				i = head + words*wordBytes/elem
+			}
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// productRow fills low[b] = c*b and high[b] = c*(b<<8), the split product
+// row used by the GF(2^16) bulk path. Only valid on fields with at least
+// 2^16 elements.
+func (f *Field[E]) productRow(low, high *[256]E, c E) {
+	lc := int(f.log[c])
+	exp, log := f.exp, f.log
+	low[0], high[0] = 0, 0
+	for b := 1; b < 256; b++ {
+		low[b] = exp[lc+int(log[b])]
+		high[b] = exp[lc+int(log[b<<8])]
+	}
+}
+
+// AddMulSlice computes dst[i] ^= c * src[i] for every index. It is the
+// inner kernel of all matrix products and packet combinations. dst and src
+// must have the same length.
+func (f *Field[E]) AddMulSlice(dst, src []E, c E) {
+	if len(dst) != len(src) {
+		panic("gf: AddMulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(dst, src)
+		return
+	}
+	if f.mul8 != nil {
+		row := f.mul8[int(c)<<8 : int(c)<<8+256]
+		for i, s := range src {
+			dst[i] ^= row[s]
+		}
+		return
+	}
+	if len(src) >= bulkMin16 {
+		var low, high [256]E
+		f.productRow(&low, &high, c)
+		for i, s := range src {
+			v := int(s)
+			dst[i] ^= low[v&0xff] ^ high[v>>8]
+		}
+		return
+	}
+	lc := int(f.log[c])
+	exp, log := f.exp, f.log
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= exp[lc+int(log[s])]
+		}
+	}
+}
+
+// MulSlice computes dst[i] = c * dst[i] for every index.
+func (f *Field[E]) MulSlice(dst []E, c E) {
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		return
+	}
+	if f.mul8 != nil {
+		row := f.mul8[int(c)<<8 : int(c)<<8+256]
+		for i, d := range dst {
+			dst[i] = row[d]
+		}
+		return
+	}
+	if len(dst) >= bulkMin16 {
+		var low, high [256]E
+		f.productRow(&low, &high, c)
+		for i, d := range dst {
+			v := int(d)
+			dst[i] = low[v&0xff] ^ high[v>>8]
+		}
+		return
+	}
+	lc := int(f.log[c])
+	exp, log := f.exp, f.log
+	for i, d := range dst {
+		if d != 0 {
+			dst[i] = exp[lc+int(log[d])]
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The bulk kernels take different code paths depending on field width,
+// coefficient and slice length (word-wide XOR, full product table, split
+// product row, log/exp fallback). These property tests pin every path to
+// the scalar Mul/Add reference.
+
+// kernelLengths crosses every path boundary: empty, single, odd lengths,
+// word-XOR head/tail remainders, and both sides of bulkMin16.
+var kernelLengths = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 31, 64, bulkMin16 - 1, bulkMin16, bulkMin16 + 1, 255, 256, 1000}
+
+func testAddMulSlice[E Elem](t *testing.T, f *Field[E], rng *rand.Rand) {
+	t.Helper()
+	coeffs := []E{0, 1, 2, 3, E(f.Size() - 1)}
+	for i := 0; i < 5; i++ {
+		coeffs = append(coeffs, E(rng.Intn(f.Size())))
+	}
+	for _, n := range kernelLengths {
+		// dst and src are offset views into larger arrays. Equal offsets
+		// exercise the word-XOR path with a misaligned (but co-aligned)
+		// head — the case where skipping head elements would corrupt
+		// data; unequal offsets exercise the element fallback.
+		for _, offs := range [][2]int{{0, 0}, {1, 1}, {3, 3}, {5, 5}, {0, 1}, {2, 7}} {
+			do, so := offs[0], offs[1]
+			dstBase := make([]E, n+do)
+			srcBase := make([]E, n+so)
+			dst, src := dstBase[do:], srcBase[so:]
+			for i := range src {
+				src[i] = E(rng.Intn(f.Size()))
+			}
+			for i := range dst {
+				dst[i] = E(rng.Intn(f.Size()))
+			}
+			for _, c := range coeffs {
+				want := make([]E, n)
+				for i, s := range src {
+					want[i] = f.Add(dst[i], f.Mul(c, s))
+				}
+				saved := append([]E(nil), dst...)
+				f.AddMulSlice(dst, src, c)
+				for i := range want {
+					if dst[i] != want[i] {
+						t.Fatalf("%s AddMulSlice(n=%d offs=%v c=%d)[%d] = %d, want %d",
+							f.Name(), n, offs, c, i, dst[i], want[i])
+					}
+				}
+				copy(dst, saved)
+			}
+		}
+	}
+}
+
+func testMulSlice[E Elem](t *testing.T, f *Field[E], rng *rand.Rand) {
+	t.Helper()
+	coeffs := []E{0, 1, 2, E(f.Size() - 1), E(rng.Intn(f.Size()))}
+	for _, n := range kernelLengths {
+		base := make([]E, n)
+		for i := range base {
+			base[i] = E(rng.Intn(f.Size()))
+		}
+		for _, c := range coeffs {
+			d := append([]E(nil), base...)
+			want := make([]E, n)
+			for i, v := range base {
+				want[i] = f.Mul(c, v)
+			}
+			f.MulSlice(d, c)
+			for i := range want {
+				if d[i] != want[i] {
+					t.Fatalf("%s MulSlice(n=%d c=%d)[%d] = %d, want %d", f.Name(), n, c, i, d[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBulkKernelsMatchScalarGF256(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	testAddMulSlice(t, GF256(), rng)
+	testMulSlice(t, GF256(), rng)
+}
+
+func TestBulkKernelsMatchScalarGF65536(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	testAddMulSlice(t, GF65536(), rng)
+	testMulSlice(t, GF65536(), rng)
+}
+
+func TestDotMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(f *Field[uint8]) {
+		for _, n := range []int{0, 1, 17, 300} {
+			a := make([]uint8, n)
+			b := make([]uint8, n)
+			for i := range a {
+				a[i] = uint8(rng.Intn(f.Size()))
+				b[i] = uint8(rng.Intn(f.Size()))
+			}
+			var want uint8
+			for i := range a {
+				want = f.Add(want, f.Mul(a[i], b[i]))
+			}
+			if got := f.Dot(a, b); got != want {
+				t.Fatalf("Dot(n=%d) = %d, want %d", n, got, want)
+			}
+		}
+	}
+	check(GF256())
+}
+
+func benchAddMul[E Elem](b *testing.B, f *Field[E], n int, c E) {
+	dst := make([]E, n)
+	src := make([]E, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range src {
+		src[i] = E(rng.Intn(f.Size()))
+	}
+	elemBytes := 1
+	if f.Size() > 256 {
+		elemBytes = 2
+	}
+	b.SetBytes(int64(n * elemBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddMulSlice(dst, src, c)
+	}
+}
+
+func BenchmarkAddMulSlice(b *testing.B) {
+	b.Run("gf8/n1024/c7", func(b *testing.B) { benchAddMul(b, GF256(), 1024, 7) })
+	b.Run("gf8/n1024/c1", func(b *testing.B) { benchAddMul(b, GF256(), 1024, 1) })
+	b.Run("gf16/n50/c7", func(b *testing.B) { benchAddMul(b, GF65536(), 50, 7) })
+	b.Run("gf16/n1024/c7", func(b *testing.B) { benchAddMul(b, GF65536(), 1024, 7) })
+	b.Run("gf16/n1024/c1", func(b *testing.B) { benchAddMul(b, GF65536(), 1024, 1) })
+}

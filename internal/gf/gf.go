@@ -38,9 +38,14 @@ const (
 // A Field is immutable after construction and safe for concurrent use.
 type Field[E Elem] struct {
 	name string
-	size int   // number of field elements (2^m)
-	exp  []E   // length 2*(size-1); exp[i] = g^i, doubled to skip a mod
-	log  []int // length size; log[0] unused (set to -1)
+	size int     // number of field elements (2^m)
+	exp  []E     // length 2*(size-1); exp[i] = g^i, doubled to skip a mod
+	log  []int32 // length size; log[0] unused (set to -1)
+	// mul8 is the full 256x256 product table, built only for GF(2^8)
+	// (64 KiB); mul8[a<<8|b] = a*b. It makes the bulk kernels a single
+	// unconditional lookup per symbol. GF(2^16) would need 8 GiB, so its
+	// kernels build small per-coefficient product rows instead (bulk.go).
+	mul8 []E
 }
 
 // Name returns a human-readable field name such as "GF(2^8)".
@@ -57,7 +62,7 @@ func newField[E Elem](name string, size, poly int) *Field[E] {
 		name: name,
 		size: size,
 		exp:  make([]E, 2*(size-1)),
-		log:  make([]int, size),
+		log:  make([]int32, size),
 	}
 	f.log[0] = -1
 	x := 1
@@ -67,7 +72,7 @@ func newField[E Elem](name string, size, poly int) *Field[E] {
 		}
 		f.exp[i] = E(x)
 		f.exp[i+size-1] = E(x)
-		f.log[x] = i
+		f.log[x] = int32(i)
 		x <<= 1
 		if x >= size {
 			x ^= poly
@@ -75,6 +80,16 @@ func newField[E Elem](name string, size, poly int) *Field[E] {
 	}
 	if x != 1 {
 		panic(fmt.Sprintf("gf: table generation did not cycle for %s poly %#x", name, poly))
+	}
+	if size == 256 {
+		f.mul8 = make([]E, 256*256)
+		for a := 1; a < 256; a++ {
+			row := f.mul8[a<<8 : a<<8+256]
+			la := int(f.log[a])
+			for b := 1; b < 256; b++ {
+				row[b] = f.exp[la+int(f.log[b])]
+			}
+		}
 	}
 	return f
 }
@@ -99,7 +114,7 @@ func (f *Field[E]) Mul(a, b E) E {
 	if a == 0 || b == 0 {
 		return 0
 	}
-	return f.exp[f.log[a]+f.log[b]]
+	return f.exp[int(f.log[a])+int(f.log[b])]
 }
 
 // Inv returns the multiplicative inverse of a. It panics if a is zero;
@@ -109,7 +124,7 @@ func (f *Field[E]) Inv(a E) E {
 	if a == 0 {
 		panic("gf: inverse of zero")
 	}
-	return f.exp[(f.size-1)-f.log[a]]
+	return f.exp[(f.size-1)-int(f.log[a])]
 }
 
 // Div returns a / b. It panics if b is zero.
@@ -120,7 +135,7 @@ func (f *Field[E]) Div(a, b E) E {
 	if a == 0 {
 		return 0
 	}
-	d := f.log[a] - f.log[b]
+	d := int(f.log[a]) - int(f.log[b])
 	if d < 0 {
 		d += f.size - 1
 	}
@@ -139,52 +154,7 @@ func (f *Field[E]) Pow(a E, k int) E {
 	if a == 0 {
 		return 0
 	}
-	return f.exp[(f.log[a]*k)%(f.size-1)]
-}
-
-// AddMulSlice computes dst[i] ^= c * src[i] for every index. It is the
-// inner kernel of all matrix products and packet combinations. dst and src
-// must have the same length.
-func (f *Field[E]) AddMulSlice(dst, src []E, c E) {
-	if len(dst) != len(src) {
-		panic("gf: AddMulSlice length mismatch")
-	}
-	switch c {
-	case 0:
-		return
-	case 1:
-		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
-	}
-	lc := f.log[c]
-	exp, log := f.exp, f.log
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= exp[lc+log[s]]
-		}
-	}
-}
-
-// MulSlice computes dst[i] = c * dst[i] for every index.
-func (f *Field[E]) MulSlice(dst []E, c E) {
-	switch c {
-	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
-	case 1:
-		return
-	}
-	lc := f.log[c]
-	exp, log := f.exp, f.log
-	for i, d := range dst {
-		if d != 0 {
-			dst[i] = exp[lc+log[d]]
-		}
-	}
+	return f.exp[(int(f.log[a])*k)%(f.size-1)]
 }
 
 // Dot returns the inner product of two equal-length vectors.
@@ -193,11 +163,18 @@ func (f *Field[E]) Dot(a, b []E) E {
 		panic("gf: Dot length mismatch")
 	}
 	var acc E
+	if f.mul8 != nil {
+		m := f.mul8
+		for i, x := range a {
+			acc ^= m[int(x)<<8|int(b[i])]
+		}
+		return acc
+	}
 	exp, log := f.exp, f.log
 	for i, x := range a {
 		y := b[i]
 		if x != 0 && y != 0 {
-			acc ^= exp[log[x]+log[y]]
+			acc ^= exp[int(log[x])+int(log[y])]
 		}
 	}
 	return acc

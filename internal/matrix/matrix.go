@@ -2,6 +2,11 @@
 // with the Gaussian-elimination routines the protocol needs: rank, inverse,
 // multi-RHS solving, and row-space membership (the eavesdropper's attack).
 //
+// All row arithmetic — products, mat-vec, elimination updates — goes
+// through the gf bulk kernels (AddMulSlice/MulSlice/Dot), so it gets the
+// per-coefficient product rows and word-wide XOR of that package rather
+// than per-symbol log/exp lookups.
+//
 // Matrices are row-major and mutable; the elimination routines operate on
 // private copies unless the method name says otherwise. All operations
 // panic on dimension mismatches (a programming error), and return errors
@@ -231,9 +236,16 @@ func (m *Matrix[E]) swapRows(i, j int) {
 	if i == j {
 		return
 	}
+	// Swap through a stack buffer in memmove-sized chunks instead of
+	// element by element; row swaps are the only elimination step that
+	// cannot go through the gf bulk kernels.
+	var buf [256]E
 	ri, rj := m.Row(i), m.Row(j)
-	for k := range ri {
-		ri[k], rj[k] = rj[k], ri[k]
+	for len(ri) > 0 {
+		n := copy(buf[:], ri)
+		copy(ri[:n], rj[:n])
+		copy(rj[:n], buf[:n])
+		ri, rj = ri[n:], rj[n:]
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 // The field-size ablation: the protocol runs over GF(2^16) because Cauchy
 // constructions need rows+cols distinct points and GF(2^8) caps that at
 // 256; these benches quantify what the safety margin costs on the coding
-// fast paths. (DESIGN.md §6, "field size" ablation.)
+// fast paths (the "field size" ablation).
 
 func benchExtract[E gf.Elem](b *testing.B, f *gf.Field[E], m, c, width int) {
 	b.Helper()

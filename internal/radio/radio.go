@@ -7,8 +7,7 @@
 // The paper runs on real Asus WL-500gP routers plus WARP interferer nodes;
 // the protocol itself, however, only ever consumes *which packets each
 // receiver got*. Any physical layer collapses to a per-(tx,rx,slot)
-// erasure process, which is what this package provides. The substitution
-// is documented in DESIGN.md §5.
+// erasure process, which is what this package provides.
 //
 // Determinism: a Medium draws all erasures from a single seeded source, so
 // an experiment is exactly reproducible from its seed.

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		var calls atomic.Int64
+		out, err := Run(workers, 37, func(i int) (int, error) {
+			calls.Add(1)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls.Load() != 37 {
+			t.Fatalf("workers=%d: %d calls", workers, calls.Load())
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out, err := Run(4, 0, func(int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestRunLowestErrorWins(t *testing.T) {
+	// Jobs 5 and 20 fail; every worker count must report job 5's error,
+	// matching what a serial loop surfaces.
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Run(workers, 30, func(i int) (int, error) {
+			if i == 5 || i == 20 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 5 failed" {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	Run(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	t.Fatal("no panic")
+}
+
+// TestRunDeterministicUnderLoad is the engine-level determinism property:
+// jobs that derive all randomness from Seed(base, index) produce identical
+// results for every worker count.
+func TestRunDeterministicUnderLoad(t *testing.T) {
+	job := func(i int) (uint64, error) {
+		rng := rand.New(rand.NewSource(Seed(99, i)))
+		var acc uint64
+		for k := 0; k < 1000; k++ {
+			acc = acc*31 + uint64(rng.Intn(1<<16))
+		}
+		return acc, nil
+	}
+	ref, err := Run(1, 64, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 32} {
+		got, err := Run(workers, 64, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: job %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+func TestSeedDecorrelates(t *testing.T) {
+	seen := map[int64]int{}
+	for base := int64(0); base < 4; base++ {
+		for i := 0; i < 1000; i++ {
+			s := Seed(base, i)
+			if j, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %d (index %d)", s, j)
+			}
+			seen[s] = i
+		}
+	}
+	if Seed(1, 2) == Seed(2, 1) {
+		t.Fatal("base/index symmetric")
+	}
+}
+
+func TestRunErrorDoesNotReturnPartialResults(t *testing.T) {
+	out, err := Run(4, 10, func(i int) (int, error) {
+		if i == 0 {
+			return 0, errors.New("first fails")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

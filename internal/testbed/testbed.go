@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/radio"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Geometry of the paper's deployment.
@@ -242,39 +243,59 @@ type SweepOptions struct {
 	// MaxPlacements, when positive, deterministically subsamples the
 	// placement list (every k-th) to bound runtime. 0 means all.
 	MaxPlacements int
+	// Workers is the number of placements evaluated concurrently
+	// (0 = one per CPU). Every placement derives its own seeds from
+	// (Seed, placement index), and results are folded in enumeration
+	// order, so the aggregate is byte-identical for any worker count.
+	Workers int
+}
+
+// SubsamplePlacements deterministically thins a placement list to at most
+// max entries by keeping every k-th placement. max <= 0 keeps all.
+func SubsamplePlacements(placements []Placement, max int) []Placement {
+	if max <= 0 || len(placements) <= max {
+		return placements
+	}
+	stride := (len(placements) + max - 1) / max
+	var sub []Placement
+	for i := 0; i < len(placements); i += stride {
+		sub = append(sub, placements[i])
+	}
+	return sub
 }
 
 // Sweep runs every placement for group size n and aggregates.
 func Sweep(n int, opt SweepOptions) (*SweepResult, error) {
-	placements := EnumeratePlacements(n)
-	if opt.MaxPlacements > 0 && len(placements) > opt.MaxPlacements {
-		stride := (len(placements) + opt.MaxPlacements - 1) / opt.MaxPlacements
-		var sub []Placement
-		for i := 0; i < len(placements); i += stride {
-			sub = append(sub, placements[i])
-		}
-		placements = sub
+	placements := SubsamplePlacements(EnumeratePlacements(n), opt.MaxPlacements)
+	type cell struct {
+		eff, kbps, rel float64
 	}
-	res := &SweepResult{N: n, Experiments: len(placements), MinKbps: math.Inf(1)}
-	var rel, eff []float64
-	for i, pl := range placements {
+	cells, err := sweep.Run(opt.Workers, len(placements), func(i int) (cell, error) {
 		cfg := opt.Protocol
 		cfg.Terminals = n
 		cfg.Seed = opt.Seed + int64(i)*7919
-		ex := &Experiment{Placement: pl, Channel: opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
+		ex := &Experiment{Placement: placements[i], Channel: opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
 		r, err := ex.Run()
 		if err != nil {
-			return nil, fmt.Errorf("testbed: placement %d: %w", i, err)
+			return cell{}, fmt.Errorf("testbed: placement %d: %w", i, err)
 		}
-		eff = append(eff, r.Efficiency)
-		if kbps := r.SecretKbpsAt(ChannelBitsPerSec); kbps < res.MinKbps {
-			res.MinKbps = kbps
+		return cell{eff: r.Efficiency, kbps: r.SecretKbpsAt(ChannelBitsPerSec), rel: r.Reliability}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{N: n, Experiments: len(placements), MinKbps: math.Inf(1)}
+	var rel, eff []float64
+	for _, c := range cells {
+		eff = append(eff, c.eff)
+		if c.kbps < res.MinKbps {
+			res.MinKbps = c.kbps
 		}
-		if math.IsNaN(r.Reliability) {
+		if math.IsNaN(c.rel) {
 			res.NoSecret++
 			continue
 		}
-		rel = append(rel, r.Reliability)
+		rel = append(rel, c.rel)
 	}
 	res.Reliability = stats.Summarize(rel)
 	res.Efficiency = stats.Summarize(eff)
