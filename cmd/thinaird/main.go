@@ -1,0 +1,159 @@
+// Command thinaird is the multi-session key-agreement daemon: it runs
+// many concurrent secret-agreement group sessions — each a broadcast bus
+// with one goroutine per terminal and a key pool refreshed in the
+// background — and exposes creation, key draws and telemetry over HTTP.
+//
+// Serve mode (default):
+//
+//	thinaird                                  # listen on :9309
+//	thinaird -addr :8080 -max-sessions 128
+//	thinaird -sessions 8 -n 4 -udp            # pre-create 8 UDP groups
+//
+// Client mode (-connect) talks to a running daemon:
+//
+//	thinaird -connect http://localhost:9309 -list
+//	thinaird -connect http://localhost:9309 -create -n 3 -erasure 0.45
+//	thinaird -connect http://localhost:9309 -draw 1 -bytes 32
+//	thinaird -connect http://localhost:9309 -close 1
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		// Serve mode.
+		addr        = flag.String("addr", ":9309", "HTTP listen address (serve mode)")
+		maxSessions = flag.Int("max-sessions", 64, "bound on concurrently running sessions")
+		maxQueued   = flag.Int("max-queued", 64, "bound on sessions waiting for a slot")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+		sessions    = flag.Int("sessions", 0, "number of sessions to pre-create at startup")
+
+		// Session parameters (pre-created sessions and -create).
+		n       = flag.Int("n", 3, "terminals per group")
+		erasure = flag.Float64("erasure", 0.45, "per-link erasure probability")
+		x       = flag.Int("x", 90, "x-packets per round")
+		payload = flag.Int("payload", 16, "payload bytes per x-packet")
+		rounds  = flag.Int("rounds", 2, "protocol rounds per refresh batch")
+		udp     = flag.Bool("udp", false, "run groups over loopback UDP instead of in-process channels")
+		observe = flag.Bool("observe", false, "attach a wire-level eavesdropper to each session")
+		low     = flag.Int("low-water", 1024, "pool bytes below which the background refresher runs")
+		seed    = flag.Int64("seed", time.Now().UnixNano()%1000000, "base seed for pre-created sessions")
+
+		// Client mode.
+		connect = flag.String("connect", "", "daemon base URL; switches to client mode")
+		list    = flag.Bool("list", false, "client: list sessions")
+		create  = flag.Bool("create", false, "client: create a session from the session flags")
+		draw    = flag.Uint("draw", 0, "client: draw key material from this session id")
+		drawLen = flag.Int("bytes", 32, "client: bytes to draw")
+		closeID = flag.Uint("close", 0, "client: close this session id")
+	)
+	flag.Parse()
+
+	spec := service.SessionSpec{
+		Terminals: *n, Erasure: *erasure, XPerRound: *x, PayloadBytes: *payload,
+		Rounds: *rounds, Rotate: true, UDP: *udp, Observe: *observe, LowWater: *low,
+	}
+
+	if *connect != "" {
+		runClient(*connect, spec, *list, *create, *draw, *drawLen, *closeID)
+		return
+	}
+	runServe(*addr, service.Config{
+		MaxSessions: *maxSessions, MaxQueued: *maxQueued, DrainTimeout: *drain,
+	}, spec, *sessions, *seed)
+}
+
+func runServe(addr string, cfg service.Config, spec service.SessionSpec, sessions int, seed int64) {
+	sv := service.New(cfg)
+	for i := 0; i < sessions; i++ {
+		sp := spec
+		sp.Name = fmt.Sprintf("boot-%d", i)
+		sp.Seed = seed + int64(i)*1009
+		s, err := sv.Create(sp)
+		fatal(err)
+		fmt.Printf("thinaird: created session %d (%s)\n", s.ID, sp.Name)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: sv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("thinaird: serving on %s (%d max sessions)\n", addr, cfg.MaxSessions)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("thinaird: %v — draining sessions\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout+5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err := sv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "thinaird: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("thinaird: all sessions drained, pools zeroized")
+}
+
+func runClient(base string, spec service.SessionSpec, list, create bool, draw uint, drawLen int, closeID uint) {
+	switch {
+	case list:
+		clientJSON("GET", base+"/v1/sessions", nil)
+	case create:
+		body, err := json.Marshal(spec)
+		fatal(err)
+		clientJSON("POST", base+"/v1/sessions", body)
+	case draw != 0:
+		clientJSON("POST", fmt.Sprintf("%s/v1/sessions/%d/draw?bytes=%d", base, draw, drawLen), nil)
+	case closeID != 0:
+		clientJSON("DELETE", fmt.Sprintf("%s/v1/sessions/%d", base, closeID), nil)
+	default:
+		clientJSON("GET", base+"/healthz", nil)
+	}
+}
+
+// clientJSON performs one API call and pretty-prints the JSON response.
+func clientJSON(method, url string, body []byte) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	fatal(err)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	fatal(err)
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	fatal(err)
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		raw = pretty.Bytes()
+	}
+	fmt.Printf("%s\n", raw)
+	if resp.StatusCode >= 400 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thinaird:", err)
+		os.Exit(1)
+	}
+}

@@ -72,7 +72,7 @@ func main() {
 		fmt.Printf("on the air:   %x…\n", ct[:24])
 		fmt.Printf("group reads:  %q\n\n", pt)
 	}
-	dep, drawn := pool.Stats()
-	fmt.Printf("pool: %d bytes banked, %d consumed, %d ready for the next frames\n",
-		dep, drawn, pool.Available())
+	st := pool.Stats()
+	fmt.Printf("pool: %d bytes banked, %d consumed, %d ready for the next frames (%d refills)\n",
+		st.Deposited, st.Drawn, st.Available, st.Refills)
 }

@@ -1,0 +1,31 @@
+package figures
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+func TestFigure2MatchesPerNSweep(t *testing.T) {
+	opt := Fig2Options{Ns: []int{3, 4}, XPerRound: 36, Rounds: 2, PayloadBytes: 8, MaxPlacements: 12, Seed: 7, Workers: 4}
+	rows, err := Figure2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.fill()
+	var want []*testbed.SweepResult
+	for _, n := range opt.Ns {
+		r, err := testbed.Sweep(n, testbed.SweepOptions{
+			Protocol: core.Config{XPerRound: opt.XPerRound, PayloadBytes: opt.PayloadBytes, Rounds: opt.Rounds, Rotate: true},
+			Channel:  *opt.Channel, Seed: opt.Seed, MaxPlacements: opt.MaxPlacements, Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	if FormatFigure2(rows) != FormatFigure2(want) {
+		t.Fatalf("cross-product sweep diverged:\n%s\nvs per-n:\n%s", FormatFigure2(rows), FormatFigure2(want))
+	}
+}

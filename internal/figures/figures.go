@@ -223,27 +223,49 @@ func (o *Fig2Options) fill() {
 	}
 }
 
-// Figure2 runs the placement sweep for every group size.
+// Figure2 runs the placement sweep for every group size. The full
+// (group size, placement) product is sharded over ONE worker pool: for
+// small per-n placement counts (n = 8 has only 9) a within-n fan-out
+// would leave most cores idle between group sizes. Per-placement seeds
+// depend only on (Seed, within-n placement index), and cells are folded
+// per group size in enumeration order, so the tables stay byte-identical
+// to the per-n sweep for any worker count.
 func Figure2(opt Fig2Options) ([]*testbed.SweepResult, error) {
 	opt.fill()
-	var out []*testbed.SweepResult
-	for _, n := range opt.Ns {
-		res, err := testbed.Sweep(n, testbed.SweepOptions{
-			Protocol: core.Config{
-				XPerRound:    opt.XPerRound,
-				PayloadBytes: opt.PayloadBytes,
-				Rounds:       opt.Rounds,
-				Rotate:       true,
-			},
-			Channel:       *opt.Channel,
-			Seed:          opt.Seed,
-			MaxPlacements: opt.MaxPlacements,
-			Workers:       opt.Workers,
-		})
-		if err != nil {
-			return nil, err
+	sopt := testbed.SweepOptions{
+		Protocol: core.Config{
+			XPerRound:    opt.XPerRound,
+			PayloadBytes: opt.PayloadBytes,
+			Rounds:       opt.Rounds,
+			Rotate:       true,
+		},
+		Channel: *opt.Channel,
+		Seed:    opt.Seed,
+	}
+	type job struct {
+		ni int // index into opt.Ns
+		pi int // placement index within that group size
+	}
+	placements := make([][]testbed.Placement, len(opt.Ns))
+	var jobs []job
+	for ni, n := range opt.Ns {
+		placements[ni] = testbed.SubsamplePlacements(testbed.EnumeratePlacements(n), opt.MaxPlacements)
+		for pi := range placements[ni] {
+			jobs = append(jobs, job{ni: ni, pi: pi})
 		}
-		out = append(out, res)
+	}
+	cells, err := sweep.Run(opt.Workers, len(jobs), func(i int) (testbed.SweepCell, error) {
+		j := jobs[i]
+		return testbed.EvalPlacement(opt.Ns[j.ni], sopt, placements[j.ni][j.pi], j.pi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*testbed.SweepResult, 0, len(opt.Ns))
+	i := 0
+	for ni, n := range opt.Ns {
+		out = append(out, testbed.FoldSweep(n, cells[i:i+len(placements[ni])]))
+		i += len(placements[ni])
 	}
 	return out, nil
 }

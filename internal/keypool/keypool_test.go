@@ -24,9 +24,9 @@ func TestDepositAndDraw(t *testing.T) {
 	if p.Available() != 2 {
 		t.Fatalf("available = %d", p.Available())
 	}
-	dep, drawn := p.Stats()
-	if dep != 5 || drawn != 3 {
-		t.Fatalf("stats = %d/%d", dep, drawn)
+	st := p.Stats()
+	if st.Deposited != 5 || st.Drawn != 3 || st.Available != 2 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
@@ -92,10 +92,94 @@ func TestRefillError(t *testing.T) {
 	if _, err := p.Draw(1); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
+	if st := p.Stats(); st.RefillErrors != 1 || st.Refills != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
 	empty := NewWithRefill(func() ([]byte, error) { return nil, nil }, 0)
 	if _, err := empty.Draw(1); err == nil {
 		t.Fatal("empty refill accepted")
 	}
+}
+
+// A persistently failing RefillFunc must not turn every satisfiable draw
+// into a refill attempt: after refillFailureLimit consecutive errors the
+// best-effort low-water top-up goes on hold until fresh material arrives.
+func TestFailingRefillDoesNotSpinDrawPath(t *testing.T) {
+	calls := 0
+	p := NewWithRefill(func() ([]byte, error) {
+		calls++
+		return nil, fmt.Errorf("radio down")
+	}, 8)
+	p.Deposit(make([]byte, 6)) // below the watermark from the start
+	// Every draw is satisfiable from the pool but leaves it below the
+	// watermark, so each would invoke the (failing) best-effort refill;
+	// invocations must stop at the failure limit.
+	for i := 0; i < 10; i++ {
+		if _, err := p.Draw(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls > refillFailureLimit {
+		t.Fatalf("failing refill invoked %d times (limit %d)", calls, refillFailureLimit)
+	}
+	// Fresh material re-arms the top-up.
+	p.Deposit(make([]byte, 2))
+	if _, err := p.Draw(1); err != nil {
+		t.Fatal(err)
+	}
+	if calls <= refillFailureLimit {
+		t.Fatalf("refill not re-armed after deposit (calls = %d)", calls)
+	}
+	if st := p.Stats(); st.RefillErrors != int64(calls) {
+		t.Fatalf("refillErrors = %d, want %d", st.RefillErrors, calls)
+	}
+}
+
+func TestLowWaterSignal(t *testing.T) {
+	p := New()
+	p.SetLowWater(8)
+	ch := p.LowWaterSignal()
+	p.Deposit(make([]byte, 16))
+	if _, err := p.Draw(4); err != nil { // 12 left: above watermark
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("signal above watermark")
+	default:
+	}
+	if _, err := p.Draw(8); err != nil { // 4 left: below
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no signal below watermark")
+	}
+	// Repeated low draws don't block the draw path even when nobody reads.
+	for i := 0; i < 5; i++ {
+		if _, err := p.Draw(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.LowWaterHits < 2 {
+		t.Fatalf("lowWaterHits = %d", st.LowWaterHits)
+	}
+}
+
+func TestZeroize(t *testing.T) {
+	p := New()
+	p.Deposit([]byte{1, 2, 3})
+	p.Zeroize()
+	if _, err := p.Draw(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	p.Deposit([]byte{9}) // dropped
+	if p.Available() != 0 {
+		t.Fatal("deposit after zeroize retained")
+	}
+	p.Zeroize() // idempotent
 }
 
 func TestDrawPad(t *testing.T) {

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/keypool"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET    /healthz                  liveness (200 while not shut down)
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /v1/sessions              list session snapshots (JSON)
+//	POST   /v1/sessions              create a session from a SessionSpec body
+//	GET    /v1/sessions/{id}         one session's snapshot
+//	DELETE /v1/sessions/{id}         gracefully close a session
+//	POST   /v1/sessions/{id}/draw    draw ?bytes=N of key material (hex JSON)
+//
+// Drawn keys leave the pool permanently (never reused); the draw endpoint
+// exists for the loopback demo deployments this repo ships — a production
+// deployment would keep keys on-box and hand out references.
+func (sv *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"uptime": sv.Uptime().String(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		sv.Metrics().WriteProm(w)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sv.Metrics())
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var spec SessionSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := sv.Create(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrSaturated):
+				status = http.StatusTooManyRequests
+			case errors.Is(err, ErrShutdown):
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Metrics())
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := sv.sessionFromPath(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := sv.sessionFromPath(w, r)
+		if !ok {
+			return
+		}
+		if err := sv.Close(s.ID); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"closed": s.ID})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/draw", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := sv.sessionFromPath(w, r)
+		if !ok {
+			return
+		}
+		n := 32
+		if q := r.URL.Query().Get("bytes"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 || v > 1<<20 {
+				httpError(w, http.StatusBadRequest, errors.New("bytes must be in 1..1048576"))
+				return
+			}
+			n = v
+		}
+		key, err := s.Draw(n)
+		if err != nil {
+			// Exhausted is the backpressure signal: the refresher is
+			// behind; the client retries after the pool recovers. A
+			// zeroized pool (failed or closed session) is permanent —
+			// Gone tells the client to stop retrying.
+			status := http.StatusConflict
+			if errors.Is(err, keypool.ErrClosed) {
+				status = http.StatusGone
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"session": s.ID,
+			"bytes":   n,
+			"key":     hex.EncodeToString(key),
+		})
+	})
+	return mux
+}
+
+func (sv *Service) sessionFromPath(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	s, err := sv.Get(uint32(id))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return s, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

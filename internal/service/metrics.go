@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/keypool"
+)
+
+// SessionMetrics is a point-in-time snapshot of one session's telemetry.
+type SessionMetrics struct {
+	ID    uint32 `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"`
+
+	Terminals int     `json:"terminals"`
+	Erasure   float64 `json:"erasure"`
+	UDP       bool    `json:"udp"`
+
+	// Rounds / Productive count protocol rounds executed so far;
+	// Refreshes / RefreshErrors count background refresh batches.
+	Rounds        int64 `json:"rounds"`
+	Productive    int64 `json:"productive"`
+	Refreshes     int64 `json:"refreshes"`
+	RefreshErrors int64 `json:"refresh_errors"`
+	// SecretBytes is the lifetime key material deposited into the pool.
+	SecretBytes int64 `json:"secret_bytes"`
+
+	Pool keypool.Stats `json:"pool"`
+
+	// Eve-bound estimate from the wire-level observer, when attached:
+	// the paper's reliability metric over everything Eve overheard.
+	EveSecretDims  int     `json:"eve_secret_dims,omitempty"`
+	EveUnknownDims int     `json:"eve_unknown_dims,omitempty"`
+	EveReliability float64 `json:"eve_reliability,omitempty"`
+
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Metrics returns the session's snapshot.
+func (s *Session) Metrics() SessionMetrics {
+	m := SessionMetrics{
+		ID:            s.ID,
+		Name:          s.spec.Name,
+		State:         s.State().String(),
+		Terminals:     s.spec.Terminals,
+		Erasure:       s.spec.Erasure,
+		UDP:           s.spec.UDP,
+		Rounds:        s.rounds.Load(),
+		Productive:    s.prodRound.Load(),
+		Refreshes:     s.refreshes.Load(),
+		RefreshErrors: s.refreshEr.Load(),
+		SecretBytes:   s.secretOut.Load(),
+		Pool:          s.pool.Stats(),
+	}
+	if sd, ud, ok := s.eveCertificate(); ok {
+		m.EveSecretDims, m.EveUnknownDims = sd, ud
+		if sd > 0 {
+			m.EveReliability = core.Reliability(sd, ud)
+		}
+	}
+	if err := s.LastErr(); err != nil {
+		m.LastError = err.Error()
+	}
+	return m
+}
+
+// ServiceMetrics is the daemon-wide snapshot.
+type ServiceMetrics struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	MaxSessions   int              `json:"max_sessions"`
+	Running       int              `json:"running"`
+	Queued        int              `json:"queued"`
+	Created       int64            `json:"created_total"`
+	Rejected      int64            `json:"rejected_total"`
+	Removed       int64            `json:"removed_total"`
+	Failed        int64            `json:"failed_total"`
+	Sessions      []SessionMetrics `json:"sessions"`
+}
+
+// Metrics snapshots the whole daemon.
+func (sv *Service) Metrics() ServiceMetrics {
+	m := ServiceMetrics{
+		UptimeSeconds: sv.Uptime().Seconds(),
+		MaxSessions:   sv.cfg.MaxSessions,
+		Created:       sv.created.Load(),
+		Rejected:      sv.rejected.Load(),
+		Removed:       sv.removed.Load(),
+		Failed:        sv.failed.Load(),
+	}
+	for _, s := range sv.Sessions() {
+		sm := s.Metrics()
+		switch s.State() {
+		case StateRunning:
+			m.Running++
+		case StateQueued:
+			m.Queued++
+		}
+		m.Sessions = append(m.Sessions, sm)
+	}
+	return m
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (counters suffixed _total, gauges bare), one family per metric.
+func (m ServiceMetrics) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE thinaird_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "thinaird_uptime_seconds %g\n", m.UptimeSeconds)
+	fmt.Fprintf(w, "# TYPE thinaird_sessions_running gauge\n")
+	fmt.Fprintf(w, "thinaird_sessions_running %d\n", m.Running)
+	fmt.Fprintf(w, "# TYPE thinaird_sessions_queued gauge\n")
+	fmt.Fprintf(w, "thinaird_sessions_queued %d\n", m.Queued)
+	fmt.Fprintf(w, "# TYPE thinaird_sessions_created_total counter\n")
+	fmt.Fprintf(w, "thinaird_sessions_created_total %d\n", m.Created)
+	fmt.Fprintf(w, "# TYPE thinaird_sessions_rejected_total counter\n")
+	fmt.Fprintf(w, "thinaird_sessions_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "# TYPE thinaird_sessions_removed_total counter\n")
+	fmt.Fprintf(w, "thinaird_sessions_removed_total %d\n", m.Removed)
+	fmt.Fprintf(w, "# TYPE thinaird_sessions_failed_total counter\n")
+	fmt.Fprintf(w, "thinaird_sessions_failed_total %d\n", m.Failed)
+
+	emit := func(family, typ string, value func(SessionMetrics) (float64, bool)) {
+		first := true
+		for _, s := range m.Sessions {
+			v, ok := value(s)
+			if !ok {
+				continue
+			}
+			if first {
+				fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+				first = false
+			}
+			fmt.Fprintf(w, "%s{session=%q,name=%q} %g\n", family, fmt.Sprint(s.ID), s.Name, v)
+		}
+	}
+	always := func(f func(SessionMetrics) float64) func(SessionMetrics) (float64, bool) {
+		return func(s SessionMetrics) (float64, bool) { return f(s), true }
+	}
+	emit("thinaird_session_rounds_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Rounds) }))
+	emit("thinaird_session_productive_rounds_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Productive) }))
+	emit("thinaird_session_refreshes_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Refreshes) }))
+	emit("thinaird_session_refresh_errors_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.RefreshErrors) }))
+	emit("thinaird_session_secret_bytes_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.SecretBytes) }))
+	emit("thinaird_session_pool_available_bytes", "gauge", always(func(s SessionMetrics) float64 { return float64(s.Pool.Available) }))
+	emit("thinaird_session_pool_drawn_bytes_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Pool.Drawn) }))
+	emit("thinaird_session_pool_low_water_hits_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Pool.LowWaterHits) }))
+	emit("thinaird_session_eve_reliability", "gauge", func(s SessionMetrics) (float64, bool) {
+		if s.EveSecretDims == 0 || math.IsNaN(s.EveReliability) {
+			return 0, false
+		}
+		return s.EveReliability, true
+	})
+}

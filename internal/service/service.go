@@ -1,0 +1,265 @@
+// Package service is the long-lived daemon layer over the protocol
+// engine: it runs many concurrent secret-agreement group sessions, each
+// with its own broadcast bus (in-process channels or loopback UDP), a
+// goroutine-per-node runtime, and a key pool refreshed in the background
+// by re-entering the engine whenever draws push the pool below its
+// watermark.
+//
+// The Service owns admission control (a bounded runner pool in the
+// internal/sweep worker idiom: a fixed set of runner goroutines claiming
+// queued sessions), lifecycle (create / close / drain), and telemetry
+// (per-session rounds, secret bytes, pool depth, Eve-bound estimates)
+// exposed over HTTP by Handler. cmd/thinaird is the CLI front end.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned by Create when the admission queue is full:
+// the caller should back off and retry, the daemon is at capacity.
+var ErrSaturated = errors.New("service: session queue saturated")
+
+// ErrShutdown is returned by Create after Shutdown has begun.
+var ErrShutdown = errors.New("service: shutting down")
+
+// ErrNotFound is returned when addressing an unknown session id.
+var ErrNotFound = errors.New("service: no such session")
+
+// Config parameterizes the daemon.
+type Config struct {
+	// MaxSessions bounds the number of concurrently RUNNING sessions —
+	// the size of the runner pool. 0 means 64.
+	MaxSessions int
+	// MaxQueued bounds sessions admitted but waiting for a runner slot;
+	// beyond it Create fails fast with ErrSaturated. 0 means MaxSessions.
+	MaxQueued int
+	// DrainTimeout is how long a closing session may spend finishing its
+	// in-flight refresh batch before being cancelled hard. 0 means 10s.
+	DrainTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = c.MaxSessions
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Service is the multi-session key-agreement daemon.
+type Service struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond // signaled when pending gains a session or closed flips
+	sessions map[uint32]*Session
+	pending  []*Session // FIFO of sessions waiting for a runner slot
+	nextID   uint32
+	closed   bool
+
+	wg sync.WaitGroup // runner goroutines
+
+	created  atomic.Int64
+	rejected atomic.Int64
+	removed  atomic.Int64
+	failed   atomic.Int64
+}
+
+// New starts a daemon with cfg.MaxSessions runner goroutines. Call
+// Shutdown to stop it.
+func New(cfg Config) *Service {
+	cfg.fill()
+	sv := &Service{
+		cfg:      cfg,
+		start:    time.Now(),
+		sessions: make(map[uint32]*Session),
+		nextID:   1,
+	}
+	sv.notEmpty = sync.NewCond(&sv.mu)
+	sv.wg.Add(cfg.MaxSessions)
+	for i := 0; i < cfg.MaxSessions; i++ {
+		go sv.runner()
+	}
+	return sv
+}
+
+// runner claims queued sessions one at a time — the sweep worker-pool
+// idiom with sessions as jobs. A claimed session occupies the runner for
+// its whole life, which is exactly what bounds concurrent sessions.
+func (sv *Service) runner() {
+	defer sv.wg.Done()
+	for {
+		sv.mu.Lock()
+		for len(sv.pending) == 0 && !sv.closed {
+			sv.notEmpty.Wait()
+		}
+		if len(sv.pending) == 0 {
+			sv.mu.Unlock()
+			return // shutting down and nothing left to claim
+		}
+		s := sv.pending[0]
+		sv.pending = sv.pending[1:]
+		sv.mu.Unlock()
+		// The claim is a state CAS so a session closed while still queued
+		// is skipped instead of spun up and immediately torn down.
+		if s.state.CompareAndSwap(int32(StateQueued), int32(StateRunning)) {
+			s.run()
+			if s.State() == StateFailed {
+				sv.failed.Add(1)
+			}
+			sv.forget(s.ID)
+		}
+	}
+}
+
+// forget drops a finished session from the registry (idempotent — the
+// explicit Close path and the runner both call it).
+func (sv *Service) forget(id uint32) {
+	sv.mu.Lock()
+	if _, ok := sv.sessions[id]; ok {
+		delete(sv.sessions, id)
+		sv.removed.Add(1)
+	}
+	sv.mu.Unlock()
+}
+
+// dropPending removes a closed-while-queued session from the FIFO so it
+// cannot occupy a queue slot it no longer needs.
+func (sv *Service) dropPending(s *Session) {
+	sv.mu.Lock()
+	for i, p := range sv.pending {
+		if p == s {
+			sv.pending = append(sv.pending[:i], sv.pending[i+1:]...)
+			break
+		}
+	}
+	sv.mu.Unlock()
+}
+
+// Create admits a new session. It returns immediately; the session starts
+// when a runner slot frees up (WaitReady blocks until its pool has key
+// material). Create fails fast with ErrSaturated when the queue is full.
+func (sv *Service) Create(spec SessionSpec) (*Session, error) {
+	if err := spec.fill(); err != nil {
+		return nil, err
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return nil, ErrShutdown
+	}
+	// Admission is counted against live sessions (queued or running):
+	// MaxSessions may run, MaxQueued more may wait; beyond that the
+	// caller gets immediate backpressure.
+	live := 0
+	for _, s := range sv.sessions {
+		if st := s.State(); st == StateQueued || st == StateRunning {
+			live++
+		}
+	}
+	if live >= sv.cfg.MaxSessions+sv.cfg.MaxQueued {
+		sv.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d live, %d running + %d queued allowed",
+			ErrSaturated, live, sv.cfg.MaxSessions, sv.cfg.MaxQueued)
+	}
+	id := sv.nextID
+	s := newSession(sv, id, spec)
+	sv.pending = append(sv.pending, s)
+	sv.nextID++
+	sv.sessions[id] = s
+	sv.created.Add(1)
+	sv.notEmpty.Signal()
+	return s, nil
+}
+
+// Get returns a session by id.
+func (sv *Service) Get(id uint32) (*Session, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if s, ok := sv.sessions[id]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+}
+
+// Sessions returns every session the daemon knows, sorted by id.
+func (sv *Service) Sessions() []*Session {
+	sv.mu.Lock()
+	out := make([]*Session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		out = append(out, s)
+	}
+	sv.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close gracefully stops one session (draining its in-flight batch) and
+// forgets it.
+func (sv *Service) Close(id uint32) error {
+	s, err := sv.Get(id)
+	if err != nil {
+		return err
+	}
+	s.closeNow()
+	sv.forget(id)
+	return nil
+}
+
+// Shutdown stops the daemon: no new sessions are admitted, every session
+// is asked to drain its in-flight refresh batch, and once ctx expires any
+// stragglers are cancelled hard. All runner goroutines have exited and
+// all pools are zeroized when Shutdown returns.
+func (sv *Service) Shutdown(ctx context.Context) error {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		sv.wg.Wait()
+		return nil
+	}
+	sv.closed = true
+	sessions := make([]*Session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		sessions = append(sessions, s)
+	}
+	sv.notEmpty.Broadcast() // idle runners exit; busy ones exit with their session
+	sv.mu.Unlock()
+
+	for _, s := range sessions {
+		s.signalClose()
+	}
+	drained := make(chan struct{})
+	go func() {
+		for _, s := range sessions {
+			s.closeNow()
+		}
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, s := range sessions {
+			s.cancel()
+		}
+		<-drained
+	}
+	sv.wg.Wait()
+	return err
+}
+
+// Uptime reports how long the daemon has been running.
+func (sv *Service) Uptime() time.Duration { return time.Since(sv.start) }

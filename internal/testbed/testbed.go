@@ -264,40 +264,59 @@ func SubsamplePlacements(placements []Placement, max int) []Placement {
 	return sub
 }
 
+// SweepCell is one placement's contribution to a SweepResult. It is
+// exported so callers (figures.Figure2) can shard the full
+// (group size, placement) product over one worker pool instead of
+// sweeping each group size separately.
+type SweepCell struct {
+	Eff, Kbps, Rel float64
+}
+
+// EvalPlacement runs placement index i (within group size n's enumeration
+// order) under opt. The per-placement seeds derive from (opt.Seed, i) with
+// the package's historical formulas, so any sharding of the placement
+// list reproduces the serial tables byte for byte.
+func EvalPlacement(n int, opt SweepOptions, pl Placement, i int) (SweepCell, error) {
+	cfg := opt.Protocol
+	cfg.Terminals = n
+	cfg.Seed = opt.Seed + int64(i)*7919
+	ex := &Experiment{Placement: pl, Channel: opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
+	r, err := ex.Run()
+	if err != nil {
+		return SweepCell{}, fmt.Errorf("testbed: placement %d: %w", i, err)
+	}
+	return SweepCell{Eff: r.Efficiency, Kbps: r.SecretKbpsAt(ChannelBitsPerSec), Rel: r.Reliability}, nil
+}
+
+// FoldSweep aggregates cells (in placement enumeration order) into the
+// Figure-2 summary for group size n.
+func FoldSweep(n int, cells []SweepCell) *SweepResult {
+	res := &SweepResult{N: n, Experiments: len(cells), MinKbps: math.Inf(1)}
+	var rel, eff []float64
+	for _, c := range cells {
+		eff = append(eff, c.Eff)
+		if c.Kbps < res.MinKbps {
+			res.MinKbps = c.Kbps
+		}
+		if math.IsNaN(c.Rel) {
+			res.NoSecret++
+			continue
+		}
+		rel = append(rel, c.Rel)
+	}
+	res.Reliability = stats.Summarize(rel)
+	res.Efficiency = stats.Summarize(eff)
+	return res
+}
+
 // Sweep runs every placement for group size n and aggregates.
 func Sweep(n int, opt SweepOptions) (*SweepResult, error) {
 	placements := SubsamplePlacements(EnumeratePlacements(n), opt.MaxPlacements)
-	type cell struct {
-		eff, kbps, rel float64
-	}
-	cells, err := sweep.Run(opt.Workers, len(placements), func(i int) (cell, error) {
-		cfg := opt.Protocol
-		cfg.Terminals = n
-		cfg.Seed = opt.Seed + int64(i)*7919
-		ex := &Experiment{Placement: placements[i], Channel: opt.Channel, Protocol: cfg, Seed: opt.Seed + int64(i)*104729 + 1}
-		r, err := ex.Run()
-		if err != nil {
-			return cell{}, fmt.Errorf("testbed: placement %d: %w", i, err)
-		}
-		return cell{eff: r.Efficiency, kbps: r.SecretKbpsAt(ChannelBitsPerSec), rel: r.Reliability}, nil
+	cells, err := sweep.Run(opt.Workers, len(placements), func(i int) (SweepCell, error) {
+		return EvalPlacement(n, opt, placements[i], i)
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{N: n, Experiments: len(placements), MinKbps: math.Inf(1)}
-	var rel, eff []float64
-	for _, c := range cells {
-		eff = append(eff, c.eff)
-		if c.kbps < res.MinKbps {
-			res.MinKbps = c.kbps
-		}
-		if math.IsNaN(c.rel) {
-			res.NoSecret++
-			continue
-		}
-		rel = append(rel, c.rel)
-	}
-	res.Reliability = stats.Summarize(rel)
-	res.Efficiency = stats.Summarize(eff)
-	return res, nil
+	return FoldSweep(n, cells), nil
 }

@@ -28,6 +28,13 @@ type NodeConfig struct {
 	// Timeout bounds each wait (for acks, announcements, ...). 0 means
 	// 10 seconds.
 	Timeout time.Duration
+	// FirstRound offsets the round numbering: the session runs rounds
+	// FirstRound .. FirstRound+Rounds-1. A long-lived daemon re-enters the
+	// engine for key-refresh batches on the same bus and session id; the
+	// monotone round numbers keep stale frames from a previous batch
+	// filtered by the ordinary round check. Round numbers live in a uint16
+	// on the wire, so FirstRound+Rounds must stay <= 65536.
+	FirstRound int
 }
 
 // NodeResult is what one node took away from a session.
@@ -58,8 +65,12 @@ func RunNode(ctx context.Context, ep Endpoint, cfg NodeConfig) (*NodeResult, err
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 10 * time.Second
 	}
+	if cfg.FirstRound < 0 || cfg.FirstRound+cfg.Rounds > 1<<16 {
+		return nil, fmt.Errorf("transport: rounds %d..%d outside the uint16 wire range",
+			cfg.FirstRound, cfg.FirstRound+cfg.Rounds-1)
+	}
 	n := &node{cfg: cfg, ep: ep, res: &NodeResult{}}
-	for round := 0; round < cfg.Rounds; round++ {
+	for round := cfg.FirstRound; round < cfg.FirstRound+cfg.Rounds; round++ {
 		leader := 0
 		if cfg.Rotate {
 			leader = round % cfg.Terminals
@@ -373,12 +384,6 @@ func RunGroup(ctx context.Context, bus Bus, cfg NodeConfig, chains []*auth.KeyCh
 	if err := cfg.Config.Validate(); err != nil {
 		return nil, err
 	}
-	type outcome struct {
-		idx int
-		res *NodeResult
-		err error
-	}
-	ch := make(chan outcome, cfg.Terminals)
 	// Register every endpoint BEFORE any node transmits: a broadcast
 	// domain only delivers to attached receivers, and the first leader
 	// starts sending immediately.
@@ -390,6 +395,26 @@ func RunGroup(ctx context.Context, bus Bus, cfg NodeConfig, chains []*auth.KeyCh
 		}
 		eps[i] = ep
 	}
+	return RunGroupOn(ctx, eps, cfg, chains)
+}
+
+// RunGroupOn runs one session batch over endpoints the caller already
+// holds — the re-entry path for long-lived daemons that keep a bus and
+// its endpoints alive across many key-refresh batches (advance
+// cfg.FirstRound between calls). eps[i] runs as terminal i.
+func RunGroupOn(ctx context.Context, eps []Endpoint, cfg NodeConfig, chains []*auth.KeyChain) ([]*NodeResult, error) {
+	if err := cfg.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if len(eps) != cfg.Terminals {
+		return nil, fmt.Errorf("transport: %d endpoints for %d terminals", len(eps), cfg.Terminals)
+	}
+	type outcome struct {
+		idx int
+		res *NodeResult
+		err error
+	}
+	ch := make(chan outcome, cfg.Terminals)
 	for i := 0; i < cfg.Terminals; i++ {
 		nc := cfg
 		nc.Self = i

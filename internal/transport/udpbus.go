@@ -36,6 +36,7 @@ type UDPBus struct {
 	addrs     map[int]*net.UDPAddr
 	pending   map[pendingKey]*pendingCtrl
 	seen      map[pendingKey]bool
+	eps       []*udpEndpoint // every endpoint this bus handed out
 	dataCount int
 	slot      int
 	closed    bool
@@ -98,7 +99,11 @@ func (b *UDPBus) Addr() *net.UDPAddr { return b.conn.LocalAddr().(*net.UDPAddr) 
 // BitsSent implements Bus.
 func (b *UDPBus) BitsSent() int64 { return b.bits.Load() }
 
-// Close implements Bus.
+// Close implements Bus. It tears down the hub socket AND every endpoint
+// the bus handed out: a client endpoint blocks in a read on its own
+// loopback socket, so only closing the hub would leave one goroutine and
+// one file descriptor stranded per endpoint — the lifecycle bug a
+// long-running multi-session daemon hits first.
 func (b *UDPBus) Close() error {
 	b.mu.Lock()
 	if b.closed {
@@ -106,8 +111,12 @@ func (b *UDPBus) Close() error {
 		return nil
 	}
 	b.closed = true
+	eps := append([]*udpEndpoint(nil), b.eps...)
 	b.mu.Unlock()
 	err := b.conn.Close()
+	for _, ep := range eps {
+		ep.Close()
+	}
 	b.wg.Wait()
 	return err
 }
@@ -294,6 +303,14 @@ func (b *UDPBus) Endpoint(id int) (Endpoint, error) {
 		ep.write(kindHello, 0, nil)
 		select {
 		case <-ep.helloDone:
+			b.mu.Lock()
+			if b.closed {
+				b.mu.Unlock()
+				ep.Close()
+				return nil, ErrClosed
+			}
+			b.eps = append(b.eps, ep)
+			b.mu.Unlock()
 			return ep, nil
 		case <-time.After(retransmitEvery):
 		}
@@ -359,6 +376,9 @@ func (e *udpEndpoint) SendCtrl(frame []byte) error {
 
 func (e *udpEndpoint) Recv() <-chan Env { return e.ch }
 
+// Close shuts the client socket down; the read loop observes the error
+// and closes the Recv channel (exactly once), so receivers always see a
+// channel close regardless of who initiated the teardown.
 func (e *udpEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -371,15 +391,13 @@ func (e *udpEndpoint) Close() error {
 }
 
 func (e *udpEndpoint) readLoop() {
+	defer close(e.ch)
 	buf := make([]byte, 65536)
 	for {
 		n, err := e.conn.Read(buf)
 		if err != nil {
 			e.mu.Lock()
-			if !e.closed {
-				close(e.ch)
-				e.closed = true
-			}
+			e.closed = true
 			e.mu.Unlock()
 			return
 		}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/keypool"
 	"repro/internal/radio"
+	"repro/internal/service"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -289,3 +290,24 @@ func NewUDPBus(erasure float64, seed int64) (Bus, error) {
 
 // NewObserver creates a wire-level eavesdropper for a session.
 func NewObserver(session uint32) *Observer { return transport.NewObserver(session) }
+
+// Service-layer re-exports: the long-lived daemon that runs many
+// concurrent group sessions with background keypool refresh and a
+// metrics/HTTP surface (see internal/service and cmd/thinaird).
+type (
+	// Service is the multi-session key-agreement daemon.
+	Service = service.Service
+	// ServiceConfig bounds concurrent sessions, queueing and drain time.
+	ServiceConfig = service.Config
+	// SessionSpec describes one long-lived group session.
+	SessionSpec = service.SessionSpec
+	// ServiceSession is one running group with its key pool.
+	ServiceSession = service.Session
+	// SessionMetrics / ServiceMetrics are telemetry snapshots.
+	SessionMetrics = service.SessionMetrics
+	ServiceMetrics = service.ServiceMetrics
+)
+
+// NewService starts a daemon; call Shutdown to drain and zeroize it.
+// Service.Handler exposes /metrics, /healthz and the /v1/sessions API.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }

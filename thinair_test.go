@@ -136,6 +136,35 @@ func TestKeyPoolFacade(t *testing.T) {
 	}
 }
 
+func TestServiceFacade(t *testing.T) {
+	svc := NewService(ServiceConfig{MaxSessions: 2})
+	s, err := svc.Create(SessionSpec{
+		Terminals: 3, Erasure: 0.45, XPerRound: 64, PayloadBytes: 16,
+		Rounds: 1, Rotate: true, Seed: 7, LowWater: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	key, err := s.Draw(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 32 {
+		t.Fatalf("key = %d bytes", len(key))
+	}
+	if m := s.Metrics(); m.Productive == 0 || m.Pool.Drawn != 32 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTracerFacade(t *testing.T) {
 	log := NewTraceLog()
 	_, err := Simulate(SimOptions{Terminals: 3, Erasure: 0.4, Seed: 2, Tracer: log})
