@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// The GF kernel benchmark matrix formatter: runs the same field x slice
+// length x kernel grid as BenchmarkAddMulSlice in internal/gf and writes
+// the results as JSON (BENCH_gf.json in CI). The "dispatch" arm measures
+// whatever kernel the arch-dispatch layer selected on this machine; the
+// "generic" arm pins the portable reference layer, so every dispatch row
+// carries its speedup over generic and the perf trajectory of the
+// accelerated kernels is recorded next to the baseline it must beat.
+
+type gfBenchRow struct {
+	Name             string  `json:"name"`
+	Field            string  `json:"field"`
+	N                int     `json:"n"`
+	Kernel           string  `json:"kernel"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	MBPerS           float64 `json:"mb_per_s"`
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic,omitempty"`
+}
+
+type gfBenchReport struct {
+	GOOS            string       `json:"goos"`
+	GOARCH          string       `json:"goarch"`
+	DispatchKernel  string       `json:"dispatch_kernel"`
+	SpeedupGF16Long float64      `json:"speedup_gf16_long"` // dispatch vs generic, n=4096
+	SpeedupGF8Long  float64      `json:"speedup_gf8_long"`
+	Benchmarks      []gfBenchRow `json:"benchmarks"`
+}
+
+var gfBenchSizes = []int{64, 256, 1024, 4096, 16384}
+
+func benchGFKernel[E gf.Elem](f *gf.Field[E], n int, generic bool) testing.BenchmarkResult {
+	dst := make([]E, n)
+	src := make([]E, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range src {
+		src[i] = E(rng.Intn(f.Size()))
+	}
+	elemBytes := 1
+	if f.Size() > 256 {
+		elemBytes = 2
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(n * elemBytes))
+		for i := 0; i < b.N; i++ {
+			if generic {
+				f.AddMulSliceGeneric(dst, src, 7)
+			} else {
+				f.AddMulSlice(dst, src, 7)
+			}
+		}
+	})
+}
+
+func mbPerS(r testing.BenchmarkResult) float64 {
+	if r.T <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+}
+
+func gfBench(out string) {
+	rep := gfBenchReport{
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		DispatchKernel: gf.GF65536().Kernel(),
+	}
+	// On machines where dispatch selected no accelerated kernel the
+	// dispatch arm IS the generic arm: emit it once and record no
+	// (meaningless) speedup instead of duplicating rows.
+	arms := []struct {
+		kernel  string
+		generic bool
+	}{{rep.DispatchKernel, false}, {"generic", true}}
+	if rep.DispatchKernel == "generic" {
+		arms = arms[1:]
+	}
+	run := func(field string, bench func(n int, generic bool) testing.BenchmarkResult) map[int][2]float64 {
+		ns := make(map[int][2]float64) // n -> [dispatch, generic] ns/op
+		for _, n := range gfBenchSizes {
+			var pair [2]float64
+			for _, arm := range arms {
+				r := bench(n, arm.generic)
+				row := gfBenchRow{
+					Name:    fmt.Sprintf("AddMulSlice/%s/n%d/k=%s", field, n, arm.kernel),
+					Field:   field,
+					N:       n,
+					Kernel:  arm.kernel,
+					NsPerOp: float64(r.NsPerOp()),
+					MBPerS:  mbPerS(r),
+				}
+				if arm.generic {
+					pair[1] = row.NsPerOp
+					if pair[0] > 0 {
+						// Attach the speedup to the dispatch row just emitted.
+						rep.Benchmarks[len(rep.Benchmarks)-1].SpeedupVsGeneric = pair[1] / pair[0]
+					}
+				} else {
+					pair[0] = row.NsPerOp
+				}
+				rep.Benchmarks = append(rep.Benchmarks, row)
+			}
+			ns[n] = pair
+		}
+		return ns
+	}
+	ns8 := run("gf8", func(n int, generic bool) testing.BenchmarkResult {
+		return benchGFKernel(gf.GF256(), n, generic)
+	})
+	ns16 := run("gf16", func(n int, generic bool) testing.BenchmarkResult {
+		return benchGFKernel(gf.GF65536(), n, generic)
+	})
+	if p := ns8[4096]; p[0] > 0 {
+		rep.SpeedupGF8Long = p[1] / p[0]
+	}
+	if p := ns16[4096]; p[0] > 0 {
+		rep.SpeedupGF16Long = p[1] / p[0]
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	data = append(data, '\n')
+	fatal(os.WriteFile(out, data, 0o644))
+	if rep.DispatchKernel == "generic" {
+		fmt.Printf("gf kernel bench: no accelerated kernel on this machine (dispatch=generic) -> %s\n", out)
+		return
+	}
+	fmt.Printf("gf kernel bench: dispatch=%s gf16 long-slice speedup %.2fx, gf8 %.2fx -> %s\n",
+		rep.DispatchKernel, rep.SpeedupGF16Long, rep.SpeedupGF8Long, out)
+}

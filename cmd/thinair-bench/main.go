@@ -12,6 +12,7 @@
 //	thinair-bench -rotation
 //	thinair-bench -ablation estimators|allocation|interference|rotation
 //	thinair-bench -all -quick
+//	thinair-bench -gf-json BENCH_gf.json   # GF kernel matrix as JSON
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		headline = flag.Bool("headline", false, "regenerate the n=8 headline numbers")
 		rotation = flag.Bool("rotation", false, "run the §3.2 rotation worst-case check")
 		ablation = flag.String("ablation", "", "run an ablation: estimators, allocation, interference, rotation, selfjam, burstiness, cancelling-eve")
+		gfJSON   = flag.String("gf-json", "", "run the GF kernel benchmark matrix and write the results as JSON to this file")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "subsample placements for a fast run")
 		seed     = flag.Int64("seed", 11, "experiment seed")
@@ -42,6 +44,10 @@ func main() {
 	}
 
 	ran := false
+	if *gfJSON != "" {
+		ran = true
+		gfBench(*gfJSON)
+	}
 	if *all || *figure == 1 {
 		ran = true
 		fig1(*workers)

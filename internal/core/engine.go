@@ -252,13 +252,10 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 		// Eve overhears everything reliable: compose her view.
 		yox := plan.YOverX()
 		zc := plan.Redist.ZCoeffs()
+		yoxRows := yox.RowViews()
 		for j := 0; j < zc.Rows(); j++ {
 			row := make([]Sym, cfg.XPerRound)
-			for yi, c := range zc.Row(j) {
-				if c != 0 {
-					f.AddMulSlice(row, yox.Row(yi), c)
-				}
-			}
+			f.AddMulSlices(row, yoxRows, zc.Row(j))
 			know.AddCombo(row, lr.Z[j])
 		}
 		secretOverX := plan.Redist.SCoeffs().Mul(yox)

@@ -114,21 +114,28 @@ func ComputeTerminalSecret(
 				break
 			}
 		}
+		var srcs [][]Sym
+		if have {
+			// Gathered once per class; every coefficient row of the class
+			// combines the same received x-payloads.
+			srcs = make([][]Sym, len(batch.XIDs))
+			for c, id := range batch.XIDs {
+				srcs[c] = recv[packet.ID(id)]
+			}
+		}
 		for r, row := range batch.Coeffs {
 			if len(row) != len(batch.XIDs) {
 				return nil, fmt.Errorf("core: class coefficient row %d has %d entries for %d x-packets", r, len(row), len(batch.XIDs))
 			}
 			if have {
 				// All x-payloads in a round share one symbol width, so the
-				// combination is a clean run of gf bulk-kernel calls over a
+				// combination is one batched gf kernel call over a
 				// preallocated accumulator.
 				y := []Sym{} // zero-width class (no x-ids): degenerate
 				if len(batch.XIDs) > 0 {
 					y = make([]Sym, len(recv[packet.ID(batch.XIDs[0])]))
 				}
-				for c, id := range batch.XIDs {
-					f.AddMulSlice(y, recv[packet.ID(id)], row[c])
-				}
+				f.AddMulSlices(y, srcs, row)
 				known[global] = y
 			}
 			global++
@@ -170,9 +177,7 @@ func ComputeTerminalSecret(
 		if m > 0 {
 			s = make([]Sym, len(full[0]))
 		}
-		for j, c := range row {
-			f.AddMulSlice(s, full[j], c)
-		}
+		f.AddMulSlices(s, full, row)
 		secret[i] = s
 	}
 	return secret, nil

@@ -119,11 +119,7 @@ func (k *Knowledge) Reconstruct(secretCoeff []Sym) ([]Sym, bool) {
 		}
 	}
 	out := make([]Sym, k.width)
-	for i, c := range combo {
-		if c != 0 {
-			k.f.AddMulSlice(out, k.content[i], c)
-		}
-	}
+	k.f.AddMulSlices(out, k.content, combo)
 	return out, true
 }
 
@@ -139,10 +135,13 @@ func (k *Knowledge) anySolution(v []Sym) []Sym {
 		copy(aug.Row(i)[:m], at.Row(i))
 		aug.Set(i, m, v[i])
 	}
-	// Forward elimination with column pivots over the first m columns.
+	// Forward elimination with column pivots over the first m columns,
+	// one batched multi-row update per pivot.
 	r := 0
 	type piv struct{ row, col int }
 	var pivots []piv
+	dsts := make([][]Sym, 0, n)
+	cs := make([]Sym, 0, n)
 	for c := 0; c < m && r < n; c++ {
 		p := -1
 		for i := r; i < n; i++ {
@@ -162,13 +161,16 @@ func (k *Knowledge) anySolution(v []Sym) []Sym {
 			}
 		}
 		f.MulSlice(aug.Row(r), f.Inv(aug.At(r, c)))
+		dsts, cs = dsts[:0], cs[:0]
 		for i := 0; i < n; i++ {
 			if i != r {
 				if x := aug.At(i, c); x != 0 {
-					f.AddMulSlice(aug.Row(i), aug.Row(r), x)
+					dsts = append(dsts, aug.Row(i))
+					cs = append(cs, x)
 				}
 			}
 		}
+		f.EliminateRows(dsts, aug.Row(r), cs)
 		pivots = append(pivots, piv{row: r, col: c})
 		r++
 	}

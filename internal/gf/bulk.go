@@ -4,27 +4,85 @@ import "unsafe"
 
 // Bulk kernels. MulSlice and AddMulSlice are the inner loops of every
 // matrix product, elimination step and packet combination in the
-// repository, so they use the classic Reed-Solomon idiom instead of a
-// log/exp lookup per symbol:
+// repository. They are layered:
 //
-//   - coefficient 1 degenerates to a plain XOR, performed 64 bits at a
-//     time over the co-aligned middle of the two slices;
-//   - GF(2^8) keeps a full 256x256 product table (64 KiB, built once with
-//     the field), so c*s is one unconditional L1 lookup;
-//   - GF(2^16) cannot afford the full table (8 GiB), so for long slices
-//     the kernels build a per-coefficient product row split into low- and
-//     high-byte halves (512 entries, 1 KiB): c*s = low[s&0xff] ^ high[s>>8].
-//     Short slices stay on the branchy log/exp path, which beats paying
-//     the 512-multiplication table build.
+//   - a portable generic layer (this file): coefficient 1 degenerates to a
+//     word-wide XOR; GF(2^8) uses the full 256x256 product table (one
+//     unconditional L1 lookup per symbol); GF(2^16) builds a
+//     per-coefficient split product row (512 entries, 1 KiB) for long
+//     slices and stays on branchy log/exp for short ones. This layer is
+//     the reference implementation every other layer is differential-
+//     tested against.
+//   - a nibble-split table layer (nibble.go): per-coefficient 16-entry
+//     tables sized so one table is one SIMD shuffle register.
+//   - an arch-dispatch layer (bulk_amd64.go / bulk_arm64.go /
+//     bulk_generic.go, `purego` escape hatch): pickKernels, run once at
+//     field construction, selects the widest block kernel the CPU
+//     supports; nil function pointers mean "stay portable".
+//
+// The batched entry points (AddMulSlices, EliminateRows) thread one
+// nibCache through a run of rows so repeated coefficients build their
+// tables once instead of per call.
 
 const (
 	wordBytes = 8
 	// bulkMin16 is the GF(2^16) slice length above which building the
-	// 512-entry per-coefficient product row pays for itself (tuned with
-	// BenchmarkAddMulSlice; the crossover is well under one cache line
-	// of table build per eight symbols processed).
+	// 512-entry per-coefficient product row pays for itself on the generic
+	// layer (tuned with BenchmarkAddMulSlice; the crossover is well under
+	// one cache line of table build per eight symbols processed).
 	bulkMin16 = 96
+	// nibMin16 / nibMin8 are the slice lengths (in symbols) above which
+	// the accelerated nibble-block kernels pay for their per-coefficient
+	// table build. Below them the generic layer wins (tuned with the
+	// BenchmarkAddMulSlice kernel matrix; for GF(2^16) the crossover
+	// lands on bulkMin16, so the branchy log/exp path keeps exactly the
+	// range it kept before and the block kernels replace the product-row
+	// regime).
+	nibMin16 = 96
+	nibMin8  = 96
+	// kernelBlockBytes is the unit the arch block kernels process; the
+	// routing layer hands them whole blocks and finishes tails with the
+	// portable nibble loops over the same tables.
+	kernelBlockBytes = 32
 )
+
+// kernels is the arch-dispatch surface: the block-kernel function pointers
+// an architecture backend provides. All pointers may be nil (no
+// acceleration for that shape); a non-nil kernel processes exactly
+// blocks*kernelBlockBytes bytes using prebuilt nibble tables.
+type kernels struct {
+	name     string
+	addMul8  func(dst, src *uint8, blocks int, t *nib8)
+	mul8     func(dst, src *uint8, blocks int, t *nib8)
+	addMul16 func(dst, src *uint16, blocks int, t *nib16)
+	mul16    func(dst, src *uint16, blocks int, t *nib16)
+}
+
+// nibCache carries built nibble tables across the rows of one batched
+// kernel call, so a run of identical coefficients builds its tables once.
+type nibCache struct {
+	c     uint16
+	valid bool
+	t8    nib8
+	t16   nib16
+}
+
+// as8 and as16 reinterpret a symbol slice at its native width for the
+// block kernels. Callers guard on f.size so the width always matches E's
+// underlying type.
+func as8[E Elem](s []E) []uint8 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint8)(unsafe.Pointer(&s[0])), len(s))
+}
+
+func as16[E Elem](s []E) []uint16 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&s[0])), len(s))
+}
 
 // xorSlice computes dst[i] ^= src[i]. The middle of the two slices is
 // processed as 64-bit words when both have the same alignment remainder;
@@ -60,8 +118,8 @@ func xorSlice[E Elem](dst, src []E) {
 }
 
 // productRow fills low[b] = c*b and high[b] = c*(b<<8), the split product
-// row used by the GF(2^16) bulk path. Only valid on fields with at least
-// 2^16 elements.
+// row used by the GF(2^16) generic layer. Only valid on fields with at
+// least 2^16 elements.
 func (f *Field[E]) productRow(low, high *[256]E, c E) {
 	lc := int(f.log[c])
 	exp, log := f.exp, f.log
@@ -74,11 +132,19 @@ func (f *Field[E]) productRow(low, high *[256]E, c E) {
 
 // AddMulSlice computes dst[i] ^= c * src[i] for every index. It is the
 // inner kernel of all matrix products and packet combinations. dst and src
-// must have the same length.
+// must have the same length and must not overlap unless c is 0 or 1.
 func (f *Field[E]) AddMulSlice(dst, src []E, c E) {
 	if len(dst) != len(src) {
 		panic("gf: AddMulSlice length mismatch")
 	}
+	f.addMul(dst, src, c, nil)
+}
+
+// addMul routes one dst ^= c*src update to the widest applicable layer.
+// nc, when non-nil, caches nibble tables across calls (the batched entry
+// points); when nil a short-lived cache is used only if a block kernel
+// runs, so the short-slice paths never pay for zeroing it.
+func (f *Field[E]) addMul(dst, src []E, c E, nc *nibCache) {
 	switch c {
 	case 0:
 		return
@@ -86,6 +152,45 @@ func (f *Field[E]) AddMulSlice(dst, src []E, c E) {
 		xorSlice(dst, src)
 		return
 	}
+	n := len(dst)
+	if f.size > 256 {
+		if k := f.kern.addMul16; k != nil && n >= nibMin16 {
+			var local nibCache
+			if nc == nil {
+				nc = &local
+			}
+			if !nc.valid || nc.c != uint16(c) {
+				f.buildNib16(&nc.t16, c)
+				nc.c, nc.valid = uint16(c), true
+			}
+			d, s := as16(dst), as16(src)
+			blocks := n / (kernelBlockBytes / 2)
+			head := blocks * (kernelBlockBytes / 2)
+			k(&d[0], &s[0], blocks, &nc.t16)
+			addMulNib16(d[head:], s[head:], &nc.t16)
+			return
+		}
+	} else if k := f.kern.addMul8; k != nil && n >= nibMin8 {
+		var local nibCache
+		if nc == nil {
+			nc = &local
+		}
+		if !nc.valid || nc.c != uint16(c) {
+			f.buildNib8(&nc.t8, c)
+			nc.c, nc.valid = uint16(c), true
+		}
+		d, s := as8(dst), as8(src)
+		blocks := n / kernelBlockBytes
+		head := blocks * kernelBlockBytes
+		k(&d[0], &s[0], blocks, &nc.t8)
+		addMulNib8(d[head:], s[head:], &nc.t8)
+		return
+	}
+	f.addMulGeneric(dst, src, c)
+}
+
+// addMulGeneric is the generic layer of AddMulSlice for c outside {0, 1}.
+func (f *Field[E]) addMulGeneric(dst, src []E, c E) {
 	if f.mul8 != nil {
 		row := f.mul8[int(c)<<8 : int(c)<<8+256]
 		for i, s := range src {
@@ -111,6 +216,24 @@ func (f *Field[E]) AddMulSlice(dst, src []E, c E) {
 	}
 }
 
+// AddMulSliceGeneric is AddMulSlice pinned to the portable generic layer,
+// bypassing any accelerated kernel the field's dispatch selected. It is
+// the reference implementation the differential and fuzz tests compare
+// against, and the baseline arm of the kernel benchmark matrix.
+func (f *Field[E]) AddMulSliceGeneric(dst, src []E, c E) {
+	if len(dst) != len(src) {
+		panic("gf: AddMulSliceGeneric length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(dst, src)
+		return
+	}
+	f.addMulGeneric(dst, src, c)
+}
+
 // MulSlice computes dst[i] = c * dst[i] for every index.
 func (f *Field[E]) MulSlice(dst []E, c E) {
 	switch c {
@@ -120,6 +243,33 @@ func (f *Field[E]) MulSlice(dst []E, c E) {
 	case 1:
 		return
 	}
+	n := len(dst)
+	if f.size > 256 {
+		if k := f.kern.mul16; k != nil && n >= nibMin16 {
+			var t nib16
+			f.buildNib16(&t, c)
+			d := as16(dst)
+			blocks := n / (kernelBlockBytes / 2)
+			head := blocks * (kernelBlockBytes / 2)
+			k(&d[0], &d[0], blocks, &t)
+			mulSliceNib16(d[head:], &t)
+			return
+		}
+	} else if k := f.kern.mul8; k != nil && n >= nibMin8 {
+		var t nib8
+		f.buildNib8(&t, c)
+		d := as8(dst)
+		blocks := n / kernelBlockBytes
+		head := blocks * kernelBlockBytes
+		k(&d[0], &d[0], blocks, &t)
+		mulSliceNib8(d[head:], &t)
+		return
+	}
+	f.mulSliceGeneric(dst, c)
+}
+
+// mulSliceGeneric is the generic layer of MulSlice for c outside {0, 1}.
+func (f *Field[E]) mulSliceGeneric(dst []E, c E) {
 	if f.mul8 != nil {
 		row := f.mul8[int(c)<<8 : int(c)<<8+256]
 		for i, d := range dst {
@@ -142,5 +292,56 @@ func (f *Field[E]) MulSlice(dst []E, c E) {
 		if d != 0 {
 			dst[i] = exp[lc+int(log[d])]
 		}
+	}
+}
+
+// MulSliceGeneric is MulSlice pinned to the portable generic layer; see
+// AddMulSliceGeneric.
+func (f *Field[E]) MulSliceGeneric(dst []E, c E) {
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		return
+	}
+	f.mulSliceGeneric(dst, c)
+}
+
+// AddMulSlices computes dst[i] ^= Σ_j cs[j] * srcs[j][i]: one accumulator
+// updated by many (coefficient, row) terms — the shape of every y/z/s
+// packet combination and mat-vec accumulation in the protocol. Zero
+// coefficients are skipped, unit coefficients degenerate to XOR, and the
+// nibble-table cache is shared across terms so repeated coefficients build
+// their tables once. Every srcs row must have dst's length.
+func (f *Field[E]) AddMulSlices(dst []E, srcs [][]E, cs []E) {
+	if len(srcs) != len(cs) {
+		panic("gf: AddMulSlices coefficient count mismatch")
+	}
+	var nc nibCache
+	for j, src := range srcs {
+		if len(src) != len(dst) {
+			panic("gf: AddMulSlices row length mismatch")
+		}
+		f.addMul(dst, src, cs[j], &nc)
+	}
+}
+
+// EliminateRows computes dsts[j][i] ^= cs[j] * src[i] for every row j: the
+// multi-row elimination update (subtract multiples of one pivot row from
+// many target rows) that Gaussian elimination performs per column. The
+// pivot row stays hot across all updates and the nibble-table cache is
+// shared, so repeated coefficients build their tables once. Every dsts row
+// must have src's length.
+func (f *Field[E]) EliminateRows(dsts [][]E, src []E, cs []E) {
+	if len(dsts) != len(cs) {
+		panic("gf: EliminateRows coefficient count mismatch")
+	}
+	var nc nibCache
+	for j, d := range dsts {
+		if len(d) != len(src) {
+			panic("gf: EliminateRows row length mismatch")
+		}
+		f.addMul(d, src, cs[j], &nc)
 	}
 }

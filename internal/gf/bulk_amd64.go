@@ -1,0 +1,73 @@
+//go:build amd64 && !purego
+
+package gf
+
+// amd64 backend: AVX2 block kernels over the nibble-split tables
+// (bulk_amd64.s). Each 32-byte block costs two shuffles for GF(2^8) and
+// eight for GF(2^16), against one or two table loads per symbol on the
+// generic layer.
+
+// pickKernels selects the widest kernel this CPU can run. Feature
+// detection is done here once, at field construction, rather than per
+// call.
+func pickKernels() kernels {
+	if hasAVX2() {
+		return kernels{
+			name:     "avx2",
+			addMul8:  gf8AddMulAVX2,
+			mul8:     gf8MulAVX2,
+			addMul16: gf16AddMulAVX2,
+			mul16:    gf16MulAVX2,
+		}
+	}
+	return kernels{name: "generic"}
+}
+
+// hasAVX2 reports whether the CPU and OS support the AVX2 kernels:
+// CPUID.1:ECX must advertise OSXSAVE and AVX, XCR0 must show the OS saves
+// XMM and YMM state, and CPUID.7.0:EBX must advertise AVX2.
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+//
+//go:noescape
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the extended control register describing which
+// vector state the OS saves across context switches.
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// The block kernels. Each processes exactly blocks*32 bytes; the routing
+// layer in bulk.go guarantees blocks >= 1 and finishes tails portably.
+// dst and src may be the same pointer (MulSlice runs in place) but must
+// not partially overlap.
+//
+//go:noescape
+func gf8AddMulAVX2(dst, src *uint8, blocks int, t *nib8)
+
+//go:noescape
+func gf8MulAVX2(dst, src *uint8, blocks int, t *nib8)
+
+//go:noescape
+func gf16AddMulAVX2(dst, src *uint16, blocks int, t *nib16)
+
+//go:noescape
+func gf16MulAVX2(dst, src *uint16, blocks int, t *nib16)

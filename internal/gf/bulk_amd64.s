@@ -1,0 +1,189 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 block kernels over the nibble-split tables (see nibble.go for the
+// table layout, which these kernels index by fixed byte offsets).
+//
+// GF(2^8), per 32-byte block (32 symbols):
+//   c*s = lo[s&0xf] ^ hi[s>>4], one VPSHUFB per table half.
+//
+// GF(2^16), per 32-byte block (16 little-endian words): extract the four
+// nibbles of every word in place — no byte deinterleave needed. For
+// nibble k the index vector qk holds the nibble value in each word's low
+// byte and zero in the high byte, so VPSHUFB against the 16-entry tables
+// yields the contribution's low product bytes in even positions (and
+// table[0] = 0 in odd ones); the high product bytes are shuffled the same
+// way and moved into the odd positions with a word shift:
+//   contribution_k = PSHUFB(lo[k], qk) ^ (PSHUFB(hi[k], qk) << 8)
+//   c*s            = contribution_0 ^ ... ^ contribution_3
+
+// 0x0f in every byte: per-byte nibble mask for the GF(2^8) kernels.
+DATA byteNibMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA byteNibMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA byteNibMask<>+0x10(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA byteNibMask<>+0x18(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL byteNibMask<>(SB), RODATA|NOPTR, $32
+
+// 0x000f in every word: per-word nibble mask for the GF(2^16) kernels.
+DATA wordNibMask<>+0x00(SB)/8, $0x000f000f000f000f
+DATA wordNibMask<>+0x08(SB)/8, $0x000f000f000f000f
+DATA wordNibMask<>+0x10(SB)/8, $0x000f000f000f000f
+DATA wordNibMask<>+0x18(SB)/8, $0x000f000f000f000f
+GLOBL wordNibMask<>(SB), RODATA|NOPTR, $32
+
+// func gf8AddMulAVX2(dst, src *uint8, blocks int, t *nib8)
+// dst[i] ^= c*src[i] over blocks*32 bytes.
+TEXT ·gf8AddMulAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ blocks+16(FP), CX
+	MOVQ t+24(FP), DX
+	VBROADCASTI128 (DX), Y0      // lo nibble table in both lanes
+	VBROADCASTI128 16(DX), Y1    // hi nibble table in both lanes
+	VMOVDQU byteNibMask<>(SB), Y2
+
+gf8addmul_loop:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3           // low nibbles
+	VPAND   Y2, Y4, Y4           // high nibbles
+	VPSHUFB Y3, Y0, Y3           // lo[low nibble]
+	VPSHUFB Y4, Y1, Y4           // hi[high nibble]
+	VPXOR   Y3, Y4, Y3
+	VPXOR   (DI), Y3, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     gf8addmul_loop
+	VZEROUPPER
+	RET
+
+// func gf8MulAVX2(dst, src *uint8, blocks int, t *nib8)
+// dst[i] = c*src[i] over blocks*32 bytes.
+TEXT ·gf8MulAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ blocks+16(FP), CX
+	MOVQ t+24(FP), DX
+	VBROADCASTI128 (DX), Y0
+	VBROADCASTI128 16(DX), Y1
+	VMOVDQU byteNibMask<>(SB), Y2
+
+gf8mul_loop:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     gf8mul_loop
+	VZEROUPPER
+	RET
+
+// gf16 kernel body shared by the add-mul and mul variants: computes
+// c*src-block into Y12 from the block in Y9. Tables: Y0-Y3 = lo[0..3],
+// Y4-Y7 = hi[0..3], Y8 = word nibble mask. Clobbers Y10, Y11.
+#define GF16BLOCK \
+	VPAND   Y8, Y9, Y10   \ // q0: nibble 0
+	VPSHUFB Y10, Y0, Y12  \
+	VPSHUFB Y10, Y4, Y11  \
+	VPSLLW  $8, Y11, Y11  \
+	VPXOR   Y11, Y12, Y12 \
+	VPSRLW  $4, Y9, Y10   \ // q1: nibble 1
+	VPAND   Y8, Y10, Y10  \
+	VPSHUFB Y10, Y1, Y11  \
+	VPXOR   Y11, Y12, Y12 \
+	VPSHUFB Y10, Y5, Y11  \
+	VPSLLW  $8, Y11, Y11  \
+	VPXOR   Y11, Y12, Y12 \
+	VPSRLW  $8, Y9, Y10   \ // q2: nibble 2
+	VPAND   Y8, Y10, Y10  \
+	VPSHUFB Y10, Y2, Y11  \
+	VPXOR   Y11, Y12, Y12 \
+	VPSHUFB Y10, Y6, Y11  \
+	VPSLLW  $8, Y11, Y11  \
+	VPXOR   Y11, Y12, Y12 \
+	VPSRLW  $12, Y9, Y10  \ // q3: nibble 3 (shift clears all other bits)
+	VPSHUFB Y10, Y3, Y11  \
+	VPXOR   Y11, Y12, Y12 \
+	VPSHUFB Y10, Y7, Y11  \
+	VPSLLW  $8, Y11, Y11  \
+	VPXOR   Y11, Y12, Y12
+
+#define GF16LOADTABLES \
+	VBROADCASTI128 (DX), Y0     \
+	VBROADCASTI128 16(DX), Y1   \
+	VBROADCASTI128 32(DX), Y2   \
+	VBROADCASTI128 48(DX), Y3   \
+	VBROADCASTI128 64(DX), Y4   \
+	VBROADCASTI128 80(DX), Y5   \
+	VBROADCASTI128 96(DX), Y6   \
+	VBROADCASTI128 112(DX), Y7  \
+	VMOVDQU wordNibMask<>(SB), Y8
+
+// func gf16AddMulAVX2(dst, src *uint16, blocks int, t *nib16)
+// dst[i] ^= c*src[i] over blocks*16 words.
+TEXT ·gf16AddMulAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ blocks+16(FP), CX
+	MOVQ t+24(FP), DX
+	GF16LOADTABLES
+
+gf16addmul_loop:
+	VMOVDQU (SI), Y9
+	GF16BLOCK
+	VPXOR   (DI), Y12, Y12
+	VMOVDQU Y12, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     gf16addmul_loop
+	VZEROUPPER
+	RET
+
+// func gf16MulAVX2(dst, src *uint16, blocks int, t *nib16)
+// dst[i] = c*src[i] over blocks*16 words.
+TEXT ·gf16MulAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ blocks+16(FP), CX
+	MOVQ t+24(FP), DX
+	GF16LOADTABLES
+
+gf16mul_loop:
+	VMOVDQU (SI), Y9
+	GF16BLOCK
+	VMOVDQU Y12, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     gf16mul_loop
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,14 @@
+//go:build arm64 && !purego
+
+package gf
+
+// pickKernels is the arm64 dispatch point. The nib8/nib16 table layout is
+// deliberately sized for NEON: one 16-entry table is one TBL source
+// register, so an arm64 backend mirrors bulk_amd64.s instruction for
+// instruction (TBL for VPSHUFB, USHR/AND for the nibble extraction). No
+// NEON assembly is wired yet — shipping vector kernels this repository's
+// CI can only compile, never execute, would be an untested-correctness
+// hazard — so dispatch selects the portable generic layer. A NEON backend
+// plugs in here exactly like the avx2 one: return kernels{name: "neon",
+// addMul8: ..., mul8: ..., addMul16: ..., mul16: ...}.
+func pickKernels() kernels { return kernels{name: "generic"} }

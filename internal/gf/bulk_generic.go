@@ -1,0 +1,11 @@
+//go:build purego || (!amd64 && !arm64)
+
+package gf
+
+// pickKernels on platforms without an accelerated backend — or on any
+// platform when built with the `purego` tag, the escape hatch for
+// debugging a suspected kernel miscompare or for auditing exactly the code
+// that runs — selects no block kernels. The routing layer then stays on
+// the portable generic paths: the full product table for GF(2^8), split
+// product rows for GF(2^16).
+func pickKernels() kernels { return kernels{name: "generic"} }

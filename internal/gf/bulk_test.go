@@ -1,6 +1,7 @@
 package gf
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -113,7 +114,159 @@ func TestDotMatchesScalar(t *testing.T) {
 	check(GF256())
 }
 
-func benchAddMul[E Elem](b *testing.B, f *Field[E], n int, c E) {
+// TestNibbleTablesMatchScalar pins the nibble-split table layout itself:
+// for a spread of coefficients, the table-composed product must equal the
+// scalar Mul over every symbol (exhaustive for both fields).
+func TestNibbleTablesMatchScalar(t *testing.T) {
+	f8 := GF256()
+	for _, c := range []uint8{1, 2, 3, 7, 0x53, 0xca, 0xff} {
+		var t8 nib8
+		f8.buildNib8(&t8, c)
+		for s := 0; s < 256; s++ {
+			if got, want := mulNib8(&t8, uint8(s)), f8.Mul(c, uint8(s)); got != want {
+				t.Fatalf("gf8 nibble tables: %d*%d = %d, want %d", c, s, got, want)
+			}
+		}
+	}
+	f16 := GF65536()
+	rng := rand.New(rand.NewSource(4))
+	coeffs := []uint16{1, 2, 3, 7, 0x100b, 0x8000, 0xffff}
+	for i := 0; i < 5; i++ {
+		coeffs = append(coeffs, uint16(1+rng.Intn(f16.Size()-1)))
+	}
+	for _, c := range coeffs {
+		var t16 nib16
+		f16.buildNib16(&t16, c)
+		for s := 0; s < 65536; s++ {
+			if got, want := mulNib16(&t16, uint16(s)), f16.Mul(c, uint16(s)); got != want {
+				t.Fatalf("gf16 nibble tables: %d*%d = %d, want %d", c, s, got, want)
+			}
+		}
+	}
+}
+
+// TestDispatchMatchesGeneric differential-tests the dispatched kernels
+// (whatever layer pickKernels selected on this machine) against the
+// portable generic layer across lengths, alignments and coefficients —
+// the byte-identical guarantee the arch backends must uphold.
+func TestDispatchMatchesGeneric(t *testing.T) {
+	check := func(t *testing.T, f16 bool) {
+		rng := rand.New(rand.NewSource(5))
+		run := func(n, do, so int, c int) {
+			if f16 {
+				diffOne(t, GF65536(), n, do, so, uint16(c), rng)
+			} else {
+				diffOne(t, GF256(), n, do, so, uint8(c), rng)
+			}
+		}
+		for _, n := range kernelLengths {
+			for _, offs := range [][2]int{{0, 0}, {1, 3}, {7, 2}} {
+				for _, c := range []int{0, 1, 2, 7, 255, 40000} {
+					run(n, offs[0], offs[1], c)
+				}
+			}
+		}
+	}
+	t.Run("gf8", func(t *testing.T) { check(t, false) })
+	t.Run("gf16", func(t *testing.T) { check(t, true) })
+}
+
+func diffOne[E Elem](t *testing.T, f *Field[E], n, do, so int, c E, rng *rand.Rand) {
+	t.Helper()
+	dstBase := make([]E, n+do)
+	srcBase := make([]E, n+so)
+	dst, src := dstBase[do:], srcBase[so:]
+	for i := range src {
+		src[i] = E(rng.Intn(f.Size()))
+	}
+	for i := range dst {
+		dst[i] = E(rng.Intn(f.Size()))
+	}
+	want := append([]E(nil), dst...)
+	f.AddMulSliceGeneric(want, src, c)
+	got := append([]E(nil), dst...)
+	f.AddMulSlice(got, src, c)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s kernel %q AddMulSlice(n=%d offs=%d/%d c=%d)[%d] = %d, generic says %d",
+				f.Name(), f.Kernel(), n, do, so, c, i, got[i], want[i])
+		}
+	}
+	mwant := append([]E(nil), dst...)
+	f.MulSliceGeneric(mwant, c)
+	mgot := append([]E(nil), dst...)
+	f.MulSlice(mgot, c)
+	for i := range mwant {
+		if mgot[i] != mwant[i] {
+			t.Fatalf("%s kernel %q MulSlice(n=%d c=%d)[%d] = %d, generic says %d",
+				f.Name(), f.Kernel(), n, c, i, mgot[i], mwant[i])
+		}
+	}
+}
+
+// TestBatchedEntryPoints pins AddMulSlices and EliminateRows (including
+// their shared nibble-table cache, exercised by repeated and changing
+// coefficients) against a loop of generic single-row calls, over both
+// fields.
+func TestBatchedEntryPoints(t *testing.T) {
+	for _, n := range []int{0, 3, 50, 96, 97, 300, 1024} {
+		testBatched(t, GF256(), n)
+		testBatched(t, GF65536(), n)
+	}
+}
+
+func testBatched[E Elem](t *testing.T, f *Field[E], n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	const rows = 9
+	srcs := make([][]E, rows)
+	for j := range srcs {
+		srcs[j] = make([]E, n)
+		for i := range srcs[j] {
+			srcs[j][i] = E(rng.Intn(f.Size()))
+		}
+	}
+	// Repeats, zeros and ones in the coefficient run, so the table cache
+	// has to both reuse and invalidate.
+	cs := []E{7, 7, 0, 1, 7, 9, 9, E(f.Size() - 1), 7}
+	dst := make([]E, n)
+	for i := range dst {
+		dst[i] = E(rng.Intn(f.Size()))
+	}
+	want := append([]E(nil), dst...)
+	for j := range srcs {
+		f.AddMulSliceGeneric(want, srcs[j], cs[j])
+	}
+	got := append([]E(nil), dst...)
+	f.AddMulSlices(got, srcs, cs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s AddMulSlices(n=%d)[%d] = %d, want %d", f.Name(), n, i, got[i], want[i])
+		}
+	}
+
+	// EliminateRows: same coefficients, dsts are the rows this time.
+	dsts := make([][]E, rows)
+	wants := make([][]E, rows)
+	for j := range dsts {
+		dsts[j] = make([]E, n)
+		for i := range dsts[j] {
+			dsts[j][i] = E(rng.Intn(f.Size()))
+		}
+		wants[j] = append([]E(nil), dsts[j]...)
+		f.AddMulSliceGeneric(wants[j], dst, cs[j])
+	}
+	f.EliminateRows(dsts, dst, cs)
+	for j := range dsts {
+		for i := range dsts[j] {
+			if dsts[j][i] != wants[j][i] {
+				t.Fatalf("%s EliminateRows(n=%d)[%d][%d] = %d, want %d", f.Name(), n, j, i, dsts[j][i], wants[j][i])
+			}
+		}
+	}
+}
+
+func benchAddMul[E Elem](b *testing.B, f *Field[E], n int, c E, generic bool) {
 	dst := make([]E, n)
 	src := make([]E, n)
 	rng := rand.New(rand.NewSource(9))
@@ -126,15 +279,31 @@ func benchAddMul[E Elem](b *testing.B, f *Field[E], n int, c E) {
 	}
 	b.SetBytes(int64(n * elemBytes))
 	b.ResetTimer()
+	if generic {
+		for i := 0; i < b.N; i++ {
+			f.AddMulSliceGeneric(dst, src, c)
+		}
+		return
+	}
 	for i := 0; i < b.N; i++ {
 		f.AddMulSlice(dst, src, c)
 	}
 }
 
+// BenchmarkAddMulSlice is the kernel benchmark matrix (field x slice
+// length x kernel) the CI bench job and cmd/thinair-bench's BENCH_gf.json
+// emitter run. The "k=dispatch" arm measures whatever pickKernels selected
+// on this machine (Field.Kernel names it); "k=generic" pins the portable
+// reference layer so the dispatch speedup is visible in one run.
 func BenchmarkAddMulSlice(b *testing.B) {
-	b.Run("gf8/n1024/c7", func(b *testing.B) { benchAddMul(b, GF256(), 1024, 7) })
-	b.Run("gf8/n1024/c1", func(b *testing.B) { benchAddMul(b, GF256(), 1024, 1) })
-	b.Run("gf16/n50/c7", func(b *testing.B) { benchAddMul(b, GF65536(), 50, 7) })
-	b.Run("gf16/n1024/c7", func(b *testing.B) { benchAddMul(b, GF65536(), 1024, 7) })
-	b.Run("gf16/n1024/c1", func(b *testing.B) { benchAddMul(b, GF65536(), 1024, 1) })
+	for _, n := range []int{16, 64, 256, 1024, 4096, 16384} {
+		n := n
+		b.Run(fmt.Sprintf("gf8/n%d/k=dispatch", n), func(b *testing.B) { benchAddMul(b, GF256(), n, 7, false) })
+		b.Run(fmt.Sprintf("gf8/n%d/k=generic", n), func(b *testing.B) { benchAddMul(b, GF256(), n, 7, true) })
+		b.Run(fmt.Sprintf("gf16/n%d/k=dispatch", n), func(b *testing.B) { benchAddMul(b, GF65536(), n, 7, false) })
+		b.Run(fmt.Sprintf("gf16/n%d/k=generic", n), func(b *testing.B) { benchAddMul(b, GF65536(), n, 7, true) })
+	}
+	// The coefficient-1 (pure XOR) arms, common in practice.
+	b.Run("gf8/n1024/k=xor", func(b *testing.B) { benchAddMul(b, GF256(), 1024, 1, false) })
+	b.Run("gf16/n1024/k=xor", func(b *testing.B) { benchAddMul(b, GF65536(), 1024, 1, false) })
 }

@@ -1,0 +1,67 @@
+package gf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAddMulSlice differential-tests the dispatched bulk kernels against
+// the portable generic layer over both fields, arbitrary payloads,
+// coefficients, and slice alignments. The fuzzer owns the search for the
+// length/alignment/coefficient combination the hand-written kernelLengths
+// table missed; any divergence between layers is a crash.
+//
+// CI runs this both as a regular test (corpus replay, including under the
+// purego tag) and as a short -fuzz smoke in the test job.
+func FuzzAddMulSlice(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03}, byte(7), uint16(7), byte(0), byte(0))
+	f.Add(bytes.Repeat([]byte{0xa5, 0x3c}, 200), byte(1), uint16(1), byte(1), byte(3))
+	f.Add(bytes.Repeat([]byte{0xff}, 1024), byte(0xca), uint16(0x100b), byte(7), byte(2))
+	f.Add(bytes.Repeat([]byte{0x11, 0x22, 0x33, 0x44}, 64), byte(0), uint16(0xffff), byte(3), byte(5))
+	f.Fuzz(func(t *testing.T, data []byte, c8 byte, c16 uint16, dstOff, srcOff byte) {
+		do, so := int(dstOff%8), int(srcOff%8)
+		half := len(data) / 2
+
+		// GF(2^8): first half is dst, second half src, shifted by the
+		// fuzzed offsets to vary alignment.
+		f8 := GF256()
+		d8 := append(make([]uint8, do), data[:half]...)[do:]
+		s8 := append(make([]uint8, so), data[half:half*2]...)[so:]
+		want8 := append([]uint8(nil), d8...)
+		f8.AddMulSliceGeneric(want8, s8, c8)
+		got8 := append([]uint8(nil), d8...)
+		f8.AddMulSlice(got8, s8, c8)
+		if !bytes.Equal(want8, got8) {
+			t.Fatalf("gf8 kernel %q diverges from generic (n=%d c=%d offs=%d/%d)\n got %v\nwant %v",
+				f8.Kernel(), len(d8), c8, do, so, got8, want8)
+		}
+		f8.MulSliceGeneric(want8, c8)
+		f8.MulSlice(got8, c8)
+		if !bytes.Equal(want8, got8) {
+			t.Fatalf("gf8 kernel %q MulSlice diverges from generic (n=%d c=%d)", f8.Kernel(), len(d8), c8)
+		}
+
+		// GF(2^16): reinterpret the same payload as symbols.
+		f16 := GF65536()
+		even := half &^ 1
+		d16 := append(make([]uint16, do), Symbols16(data[:even])...)[do:]
+		s16 := append(make([]uint16, so), Symbols16(data[even:even*2])...)[so:]
+		want16 := append([]uint16(nil), d16...)
+		f16.AddMulSliceGeneric(want16, s16, c16)
+		got16 := append([]uint16(nil), d16...)
+		f16.AddMulSlice(got16, s16, c16)
+		for i := range want16 {
+			if want16[i] != got16[i] {
+				t.Fatalf("gf16 kernel %q diverges from generic (n=%d c=%d offs=%d/%d i=%d): got %d want %d",
+					f16.Kernel(), len(d16), c16, do, so, i, got16[i], want16[i])
+			}
+		}
+		f16.MulSliceGeneric(want16, c16)
+		f16.MulSlice(got16, c16)
+		for i := range want16 {
+			if want16[i] != got16[i] {
+				t.Fatalf("gf16 kernel %q MulSlice diverges from generic (n=%d c=%d i=%d)", f16.Kernel(), len(d16), c16, i)
+			}
+		}
+	})
+}

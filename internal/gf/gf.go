@@ -39,6 +39,7 @@ const (
 type Field[E Elem] struct {
 	name string
 	size int     // number of field elements (2^m)
+	poly int     // the field's irreducible polynomial (incl. leading term)
 	exp  []E     // length 2*(size-1); exp[i] = g^i, doubled to skip a mod
 	log  []int32 // length size; log[0] unused (set to -1)
 	// mul8 is the full 256x256 product table, built only for GF(2^8)
@@ -46,6 +47,10 @@ type Field[E Elem] struct {
 	// unconditional lookup per symbol. GF(2^16) would need 8 GiB, so its
 	// kernels build small per-coefficient product rows instead (bulk.go).
 	mul8 []E
+	// kern holds the block kernels the arch-dispatch layer selected for
+	// this CPU at construction time (bulk_amd64.go / bulk_arm64.go /
+	// bulk_generic.go); nil entries fall back to the generic layer.
+	kern kernels
 }
 
 // Name returns a human-readable field name such as "GF(2^8)".
@@ -54,6 +59,11 @@ func (f *Field[E]) Name() string { return f.name }
 // Size returns the number of elements in the field (2^m).
 func (f *Field[E]) Size() int { return f.size }
 
+// Kernel names the bulk-kernel backend the arch-dispatch layer selected at
+// construction ("avx2", "generic", ...). Benchmarks and diagnostics use it
+// to label throughput numbers.
+func (f *Field[E]) Kernel() string { return f.kern.name }
+
 // newField builds the tables for the field of the given size using the
 // given irreducible polynomial. It panics if 2 is not primitive for the
 // polynomial, which would be a programming error in this package.
@@ -61,8 +71,10 @@ func newField[E Elem](name string, size, poly int) *Field[E] {
 	f := &Field[E]{
 		name: name,
 		size: size,
+		poly: poly,
 		exp:  make([]E, 2*(size-1)),
 		log:  make([]int32, size),
+		kern: pickKernels(),
 	}
 	f.log[0] = -1
 	x := 1

@@ -1,0 +1,128 @@
+package gf
+
+// Nibble-split coefficient tables: the SIMD-friendly table layout shared by
+// every accelerated kernel backend (and by the portable tail loops that
+// finish off what the block kernels leave behind).
+//
+// The idea — the classic Reed-Solomon "PSHUFB idiom" — is to split each
+// source symbol into 4-bit nibbles and precompute, per coefficient c, one
+// 16-entry table per nibble position. A product is then a handful of
+// 16-entry lookups, and a 16-entry byte table is exactly one SIMD shuffle
+// register (PSHUFB on amd64, TBL on arm64), so the same tables drive both
+// the scalar tail loops below and the vector kernels in bulk_*.s:
+//
+//   - GF(2^8): s = n0 | n1<<4, so c*s = lo[n0] ^ hi[n1]. Two 16-byte
+//     tables, 32 bytes per coefficient — both halves live in registers for
+//     the whole kernel.
+//   - GF(2^16): s = n0 | n1<<4 | n2<<8 | n3<<12, so c*s is the XOR of four
+//     per-nibble contributions c*(nk<<4k). Each contribution is a 16-bit
+//     value, kept as two byte tables (low and high product byte) so byte
+//     shuffles can look them up: 4 nibbles x 2 halves = eight 16-byte
+//     tables, 128 bytes per coefficient.
+//
+// The layouts below are part of the assembly ABI: bulk_amd64.s indexes
+// nib8/nib16 by fixed byte offsets (lo tables first, then hi tables).
+
+// nib8 holds the GF(2^8) nibble tables for one coefficient c:
+// lo[n] = c*n, hi[n] = c*(n<<4).
+type nib8 struct {
+	lo [16]byte
+	hi [16]byte
+}
+
+// nib16 holds the GF(2^16) nibble tables for one coefficient c: for nibble
+// position k, lo[k][n] and hi[k][n] are the low and high bytes of
+// c*(n<<4k).
+type nib16 struct {
+	lo [4][16]byte
+	hi [4][16]byte
+}
+
+// buildNib8 fills the GF(2^8) nibble tables for coefficient c. Only valid
+// on the 256-element field (mul8 is present) with c != 0.
+func (f *Field[E]) buildNib8(t *nib8, c E) {
+	row := f.mul8[int(c)<<8 : int(c)<<8+256]
+	for n := 0; n < 16; n++ {
+		t.lo[n] = byte(row[n])
+		t.hi[n] = byte(row[n<<4])
+	}
+}
+
+// buildNib16 fills the GF(2^16) nibble tables for coefficient c. Only
+// valid on fields with at least 2^16 elements and c != 0.
+//
+// The build is the hot fixed cost of the accelerated path (it runs per
+// coefficient, i.e. per elimination row), so instead of 60 log/exp
+// lookups it uses the doubling recurrence ck*(2j) = 2*(ck*j) and
+// ck*(2j+1) = 2*(ck*j) ^ ck: each table is 14 shift/xor steps with no
+// memory loads, and the per-nibble coefficients ck = c<<4k chain by four
+// more doublings.
+func (f *Field[E]) buildNib16(t *nib16, c E) {
+	poly := uint32(f.poly)
+	mul2 := func(v uint32) uint32 {
+		v <<= 1
+		if v&0x10000 != 0 {
+			v ^= poly
+		}
+		return v
+	}
+	ck := uint32(c)
+	for k := 0; k < 4; k++ {
+		var tab [16]uint32
+		t.lo[k][0], t.hi[k][0] = 0, 0
+		tab[1] = ck
+		t.lo[k][1], t.hi[k][1] = byte(ck), byte(ck>>8)
+		for j := 2; j < 16; j += 2 {
+			d := mul2(tab[j/2])
+			tab[j] = d
+			t.lo[k][j], t.hi[k][j] = byte(d), byte(d>>8)
+			d ^= ck
+			tab[j+1] = d
+			t.lo[k][j+1], t.hi[k][j+1] = byte(d), byte(d>>8)
+		}
+		ck = mul2(mul2(mul2(mul2(ck))))
+	}
+}
+
+// mulNib8 computes c*s through the nibble tables.
+func mulNib8(t *nib8, s uint8) uint8 {
+	return t.lo[s&0xf] ^ t.hi[s>>4]
+}
+
+// mulNib16 computes c*s through the nibble tables.
+func mulNib16(t *nib16, s uint16) uint16 {
+	n0, n1, n2, n3 := s&0xf, (s>>4)&0xf, (s>>8)&0xf, s>>12
+	lo := t.lo[0][n0] ^ t.lo[1][n1] ^ t.lo[2][n2] ^ t.lo[3][n3]
+	hi := t.hi[0][n0] ^ t.hi[1][n1] ^ t.hi[2][n2] ^ t.hi[3][n3]
+	return uint16(hi)<<8 | uint16(lo)
+}
+
+// addMulNib8 computes dst[i] ^= c*src[i] through the nibble tables; it is
+// the portable form of the accelerated block kernels, used for tails and as
+// the differential reference for the table layout.
+func addMulNib8(dst, src []uint8, t *nib8) {
+	for i, s := range src {
+		dst[i] ^= mulNib8(t, s)
+	}
+}
+
+// addMulNib16 is addMulNib8 for GF(2^16).
+func addMulNib16(dst, src []uint16, t *nib16) {
+	for i, s := range src {
+		dst[i] ^= mulNib16(t, s)
+	}
+}
+
+// mulSliceNib8 computes dst[i] = c*dst[i] through the nibble tables.
+func mulSliceNib8(dst []uint8, t *nib8) {
+	for i, d := range dst {
+		dst[i] = mulNib8(t, d)
+	}
+}
+
+// mulSliceNib16 is mulSliceNib8 for GF(2^16).
+func mulSliceNib16(dst []uint16, t *nib16) {
+	for i, d := range dst {
+		dst[i] = mulNib16(t, d)
+	}
+}

@@ -3,9 +3,11 @@
 // multi-RHS solving, and row-space membership (the eavesdropper's attack).
 //
 // All row arithmetic — products, mat-vec, elimination updates — goes
-// through the gf bulk kernels (AddMulSlice/MulSlice/Dot), so it gets the
-// per-coefficient product rows and word-wide XOR of that package rather
-// than per-symbol log/exp lookups.
+// through the gf bulk kernels, batched where the shape allows it
+// (AddMulSlices for row combinations, EliminateRows for the per-column
+// elimination update), so it gets that package's arch-dispatched nibble
+// kernels, shared coefficient tables and word-wide XOR rather than
+// per-symbol log/exp lookups.
 //
 // Matrices are row-major and mutable; the elimination routines operate on
 // private copies unless the method name says otherwise. All operations
@@ -80,6 +82,18 @@ func (m *Matrix[E]) Set(i, j int, v E) { m.d[i*m.cols+j] = v }
 // Row returns row i as a slice aliasing the matrix storage.
 func (m *Matrix[E]) Row(i int) []E { return m.d[i*m.cols : (i+1)*m.cols] }
 
+// RowViews returns every row as a slice aliasing the matrix storage — the
+// form the gf batched kernels (AddMulSlices) consume. Callers combining
+// many coefficient rows against the same matrix build the views once and
+// loop over AddMulSlices. Mutating a view mutates the matrix.
+func (m *Matrix[E]) RowViews() [][]E {
+	rows := make([][]E, m.rows)
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
 // Clone returns a deep copy.
 func (m *Matrix[E]) Clone() *Matrix[E] {
 	c := New(m.f, m.rows, m.cols)
@@ -106,14 +120,11 @@ func (m *Matrix[E]) Mul(o *Matrix[E]) *Matrix[E] {
 		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d * %dx%d", m.rows, m.cols, o.rows, o.cols))
 	}
 	out := New(m.f, m.rows, o.cols)
+	// One batched combination per output row: the kernel layer shares
+	// coefficient tables across the terms of a row.
+	srcs := o.RowViews()
 	for i := 0; i < m.rows; i++ {
-		ri := m.Row(i)
-		oi := out.Row(i)
-		for k, c := range ri {
-			if c != 0 {
-				m.f.AddMulSlice(oi, o.Row(k), c)
-			}
-		}
+		m.f.AddMulSlices(out.Row(i), srcs, m.Row(i))
 	}
 	return out
 }
@@ -203,10 +214,14 @@ func (m *Matrix[E]) Rank() int {
 }
 
 // echelon reduces the receiver to row echelon form in place and returns its
-// rank.
+// rank. The per-column update goes through gf.EliminateRows: one batched
+// call eliminating every row below the pivot, so the pivot row stays hot
+// and repeated coefficients share their kernel tables.
 func (m *Matrix[E]) echelon() int {
 	f := m.f
 	r := 0
+	dsts := make([][]E, 0, m.rows)
+	cs := make([]E, 0, m.rows)
 	for c := 0; c < m.cols && r < m.rows; c++ {
 		// Find a pivot in column c at or below row r.
 		p := -1
@@ -222,11 +237,14 @@ func (m *Matrix[E]) echelon() int {
 		m.swapRows(r, p)
 		pivInv := f.Inv(m.At(r, c))
 		f.MulSlice(m.Row(r)[c:], pivInv)
+		dsts, cs = dsts[:0], cs[:0]
 		for i := r + 1; i < m.rows; i++ {
 			if v := m.At(i, c); v != 0 {
-				f.AddMulSlice(m.Row(i)[c:], m.Row(r)[c:], v)
+				dsts = append(dsts, m.Row(i)[c:])
+				cs = append(cs, v)
 			}
 		}
+		f.EliminateRows(dsts, m.Row(r)[c:], cs)
 		r++
 	}
 	return r
@@ -262,6 +280,8 @@ func (m *Matrix[E]) Inverse() (*Matrix[E], error) {
 		aug.Set(i, n+i, 1)
 	}
 	f := m.f
+	dsts := make([][]E, 0, n)
+	cs := make([]E, 0, n)
 	for c := 0; c < n; c++ {
 		p := -1
 		for i := c; i < n; i++ {
@@ -275,13 +295,16 @@ func (m *Matrix[E]) Inverse() (*Matrix[E], error) {
 		}
 		aug.swapRows(c, p)
 		f.MulSlice(aug.Row(c), f.Inv(aug.At(c, c)))
+		dsts, cs = dsts[:0], cs[:0]
 		for i := 0; i < n; i++ {
 			if i != c {
 				if v := aug.At(i, c); v != 0 {
-					f.AddMulSlice(aug.Row(i), aug.Row(c), v)
+					dsts = append(dsts, aug.Row(i))
+					cs = append(cs, v)
 				}
 			}
 		}
+		f.EliminateRows(dsts, aug.Row(c), cs)
 	}
 	inv := New(m.f, n, n)
 	for i := 0; i < n; i++ {
@@ -308,6 +331,8 @@ func Solve[E gf.Elem](a, b *Matrix[E]) (*Matrix[E], error) {
 	// Forward elimination restricted to the first k columns.
 	r := 0
 	pivCols := make([]int, 0, k)
+	dsts := make([][]E, 0, n)
+	cs := make([]E, 0, n)
 	for c := 0; c < k && r < n; c++ {
 		p := -1
 		for i := r; i < n; i++ {
@@ -321,13 +346,16 @@ func Solve[E gf.Elem](a, b *Matrix[E]) (*Matrix[E], error) {
 		}
 		aug.swapRows(r, p)
 		f.MulSlice(aug.Row(r)[c:], f.Inv(aug.At(r, c)))
+		dsts, cs = dsts[:0], cs[:0]
 		for i := 0; i < n; i++ {
 			if i != r {
 				if v := aug.At(i, c); v != 0 {
-					f.AddMulSlice(aug.Row(i)[c:], aug.Row(r)[c:], v)
+					dsts = append(dsts, aug.Row(i)[c:])
+					cs = append(cs, v)
 				}
 			}
 		}
+		f.EliminateRows(dsts, aug.Row(r)[c:], cs)
 		pivCols = append(pivCols, c)
 		r++
 	}
@@ -397,6 +425,8 @@ func (m *Matrix[E]) Det() E {
 	w := m.Clone()
 	f := m.f
 	det := E(1)
+	dsts := make([][]E, 0, w.rows)
+	cs := make([]E, 0, w.rows)
 	for c := 0; c < w.cols; c++ {
 		p := -1
 		for i := c; i < w.rows; i++ {
@@ -412,11 +442,14 @@ func (m *Matrix[E]) Det() E {
 		piv := w.At(c, c)
 		det = f.Mul(det, piv)
 		inv := f.Inv(piv)
+		dsts, cs = dsts[:0], cs[:0]
 		for i := c + 1; i < w.rows; i++ {
 			if v := w.At(i, c); v != 0 {
-				f.AddMulSlice(w.Row(i)[c:], w.Row(c)[c:], f.Mul(v, inv))
+				dsts = append(dsts, w.Row(i)[c:])
+				cs = append(cs, f.Mul(v, inv))
 			}
 		}
+		f.EliminateRows(dsts, w.Row(c)[c:], cs)
 	}
 	return det
 }

@@ -115,8 +115,20 @@ func CompleteFromEquations[E gf.Elem](f *gf.Field[E], m int, known map[int][]E, 
 		return nil, fmt.Errorf("mds: %d unknown packets but no equations", len(unknown))
 	}
 	width := len(payloads[0])
+	// Gather the known payloads once; every equation row moves the same
+	// set to the right-hand side in one batched kernel call.
+	knownIdx := make([]int, 0, len(known))
+	knownPay := make([][]E, 0, len(known))
+	for i, payload := range known {
+		if len(payload) != width {
+			return nil, fmt.Errorf("mds: ragged known payloads")
+		}
+		knownIdx = append(knownIdx, i)
+		knownPay = append(knownPay, payload)
+	}
 	cm := matrix.New(f, len(coeffs), m)
 	rhs := matrix.New(f, len(coeffs), width)
+	kcs := make([]E, len(knownIdx))
 	for j := range coeffs {
 		if len(coeffs[j]) != m {
 			return nil, fmt.Errorf("mds: equation %d has %d coefficients, want %d", j, len(coeffs[j]), m)
@@ -126,15 +138,10 @@ func CompleteFromEquations[E gf.Elem](f *gf.Field[E], m int, known map[int][]E, 
 		}
 		copy(cm.Row(j), coeffs[j])
 		copy(rhs.Row(j), payloads[j])
-		// Move known packets to the right-hand side.
-		for i, payload := range known {
-			if c := cm.At(j, i); c != 0 {
-				if len(payload) != width {
-					return nil, fmt.Errorf("mds: ragged known payloads")
-				}
-				f.AddMulSlice(rhs.Row(j), payload, c)
-			}
+		for t, i := range knownIdx {
+			kcs[t] = cm.At(j, i)
 		}
+		f.AddMulSlices(rhs.Row(j), knownPay, kcs)
 	}
 	sub := cm.SubCols(unknown)
 	x, err := matrix.Solve(sub, rhs)

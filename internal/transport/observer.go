@@ -161,16 +161,13 @@ func (o *Observer) evaluate(r *observerRound) {
 			know.AddUnit(int(seq), payload)
 		}
 	}
+	yoxRows := yox.RowViews()
 	for _, zp := range r.zs {
 		if len(zp.Coeffs) != m || len(zp.Payload)%2 != 0 {
 			continue
 		}
 		c := make([]core.Sym, r.numX)
-		for yi, v := range zp.Coeffs {
-			if v != 0 {
-				f.AddMulSlice(c, yox.Row(yi), v)
-			}
-		}
+		f.AddMulSlices(c, yoxRows, zp.Coeffs)
 		know.AddCombo(c, gf.Symbols16(zp.Payload))
 	}
 
@@ -180,11 +177,7 @@ func (o *Observer) evaluate(r *observerRound) {
 			continue
 		}
 		c := make([]core.Sym, r.numX)
-		for yi, v := range sc {
-			if v != 0 {
-				f.AddMulSlice(c, yox.Row(yi), v)
-			}
-		}
+		f.AddMulSlices(c, yoxRows, sc)
 		secretRows = append(secretRows, c)
 	}
 	if len(secretRows) == 0 {

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeqWindowDedup(t *testing.T) {
+	var w seqWindow
+	if w.observe(1) {
+		t.Fatal("first observe(1) reported duplicate")
+	}
+	if !w.observe(1) {
+		t.Fatal("second observe(1) not reported duplicate")
+	}
+	// Out-of-order arrivals inside the window.
+	if w.observe(5) || w.observe(3) {
+		t.Fatal("fresh in-window sequences reported duplicate")
+	}
+	if !w.observe(3) || !w.observe(5) {
+		t.Fatal("repeated in-window sequences not reported duplicate")
+	}
+	if w.observe(4) {
+		t.Fatal("unseen sequence below max reported duplicate")
+	}
+}
+
+func TestSeqWindowSlides(t *testing.T) {
+	var w seqWindow
+	// A long monotone run: every first sight fresh, every replay dup,
+	// and anything that slid below the window base answered as dup.
+	for s := uint32(1); s <= 3*seqWindowSize; s++ {
+		if w.observe(s) {
+			t.Fatalf("fresh seq %d reported duplicate", s)
+		}
+		if !w.observe(s) {
+			t.Fatalf("replayed seq %d not reported duplicate", s)
+		}
+	}
+	if !w.observe(1) {
+		t.Fatal("ancient seq 1 not reported duplicate")
+	}
+	if !w.observe(2 * seqWindowSize) {
+		t.Fatal("below-base seq not reported duplicate")
+	}
+	// Sliding must not resurrect stale bits from a lap ago: jump far
+	// ahead, then check sequences in the fresh part of the window.
+	jump := w.max + seqWindowSize/2
+	if w.observe(jump) {
+		t.Fatal("jump target reported duplicate")
+	}
+	for s := jump - seqWindowSize/4; s < jump; s++ {
+		if w.observe(s) {
+			t.Fatalf("seq %d inside slid window reported duplicate (stale bit)", s)
+		}
+	}
+}
+
+func TestSeqWindowBigJump(t *testing.T) {
+	var w seqWindow
+	w.observe(7)
+	big := uint32(100 * seqWindowSize)
+	if w.observe(big) {
+		t.Fatal("big jump reported duplicate")
+	}
+	if !w.observe(big) {
+		t.Fatal("replay after big jump not reported duplicate")
+	}
+	// Slot that aliases seq 7 (same ring position, one lap later) must
+	// read fresh after the full-window clear.
+	alias := big - seqWindowSize + (7+seqWindowSize-big%seqWindowSize)%seqWindowSize
+	if alias+seqWindowSize > big && alias != big && w.observe(alias) {
+		t.Fatalf("aliased seq %d reported duplicate after full clear", alias)
+	}
+}
+
+// TestSeqWindowMatchesMap cross-checks the window against the old
+// unbounded map semantics over random in-window traffic: as long as a
+// sequence is no further than seqWindowSize behind the newest (the ARQ
+// invariant), the two must agree exactly.
+func TestSeqWindowMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var w seqWindow
+	seen := map[uint32]bool{}
+	front := uint32(1)
+	for i := 0; i < 20000; i++ {
+		// Advance the front most of the time, replay a recent seq otherwise.
+		var s uint32
+		if rng.Intn(3) > 0 {
+			front++
+			s = front
+		} else {
+			back := uint32(rng.Intn(seqWindowSize - 8))
+			if back >= front {
+				back = front - 1
+			}
+			s = front - back
+		}
+		want := seen[s]
+		seen[s] = true
+		if got := w.observe(s); got != want {
+			t.Fatalf("step %d: observe(%d) = %v, map says %v (front %d)", i, s, got, want, front)
+		}
+	}
+}

@@ -97,6 +97,18 @@ func TestUDPSoakMultiSession(t *testing.T) {
 				fail("session %d: observer certificate out of range (%d/%d)",
 					s, obs.UnknownDims, obs.SecretDims)
 			}
+			// Dedup state must stay bounded by the participant count
+			// (n terminals + observer): each sender gets one fixed-size
+			// sliding window, never one entry per control frame. This is
+			// the regression assertion for the old unbounded `seen` maps.
+			if got := bus.dedupSenders(); got > n+1 {
+				fail("session %d: hub dedup state grew to %d windows for %d senders", s, got, n+1)
+			}
+			for i, ep := range eps {
+				if got := ep.(*udpEndpoint).dedupSenders(); got > n+1 {
+					fail("session %d: endpoint %d dedup state grew to %d windows for %d senders", s, i, got, n+1)
+				}
+			}
 		}(s)
 	}
 	wg.Wait()

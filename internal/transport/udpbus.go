@@ -35,8 +35,8 @@ type UDPBus struct {
 	rng       *rand.Rand
 	addrs     map[int]*net.UDPAddr
 	pending   map[pendingKey]*pendingCtrl
-	seen      map[pendingKey]bool
-	eps       []*udpEndpoint // every endpoint this bus handed out
+	seen      map[int]*seqWindow // per-sender ctrl dedup, constant memory
+	eps       []*udpEndpoint     // every endpoint this bus handed out
 	dataCount int
 	slot      int
 	closed    bool
@@ -85,7 +85,7 @@ func NewUDPBus(model radio.ErasureModel, seed int64, slotEvery int) (*UDPBus, er
 		rng:       rand.New(rand.NewSource(seed)),
 		addrs:     make(map[int]*net.UDPAddr),
 		pending:   make(map[pendingKey]*pendingCtrl),
-		seen:      make(map[pendingKey]bool),
+		seen:      make(map[int]*seqWindow),
 	}
 	b.wg.Add(2)
 	go b.readLoop()
@@ -201,14 +201,18 @@ func (b *UDPBus) acceptCtrl(from int, seq uint32, frame []byte) {
 	key := pendingKey{from: from, seq: seq}
 	b.mu.Lock()
 	senderAddr := b.addrs[from]
-	if b.seen[key] {
+	w := b.seen[from]
+	if w == nil {
+		w = &seqWindow{}
+		b.seen[from] = w
+	}
+	if w.observe(seq) {
 		b.mu.Unlock()
 		if senderAddr != nil {
 			b.send(senderAddr, kindCtrlAck, from, seq, nil) // duplicate: re-ack
 		}
 		return
 	}
-	b.seen[key] = true
 	b.bits.Add(int64(len(frame)) * 8)
 	p := &pendingCtrl{frame: append([]byte(nil), frame...), waiting: map[int]bool{}}
 	var deliver []*net.UDPAddr
@@ -294,7 +298,7 @@ func (b *UDPBus) Endpoint(id int) (Endpoint, error) {
 		conn:  conn,
 		ch:    make(chan Env, 4096),
 		acked: make(map[uint32]chan struct{}),
-		seen:  make(map[pendingKey]bool),
+		seen:  make(map[int]*seqWindow),
 	}
 	ep.helloDone = make(chan struct{})
 	go ep.readLoop()
@@ -327,7 +331,7 @@ type udpEndpoint struct {
 
 	mu        sync.Mutex
 	acked     map[uint32]chan struct{}
-	seen      map[pendingKey]bool
+	seen      map[int]*seqWindow // per-sender ctrl dedup, constant memory
 	helloOnce sync.Once
 	helloDone chan struct{}
 	closed    bool
@@ -428,12 +432,13 @@ func (e *udpEndpoint) readLoop() {
 			ackPayload := make([]byte, 2)
 			binary.BigEndian.PutUint16(ackPayload, uint16(from))
 			e.write(kindAck, seq, ackPayload)
-			key := pendingKey{from: from, seq: seq}
 			e.mu.Lock()
-			dup := e.seen[key]
-			if !dup {
-				e.seen[key] = true
+			w := e.seen[from]
+			if w == nil {
+				w = &seqWindow{}
+				e.seen[from] = w
 			}
+			dup := w.observe(seq)
 			e.mu.Unlock()
 			if !dup {
 				select {

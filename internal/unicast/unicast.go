@@ -190,16 +190,17 @@ func RunSession(cfg core.Config, med *radio.Medium, eveNodes []radio.NodeID) (*c
 				continue
 			}
 			for k := 0; k < keyLen; k++ {
-				// Recompute the pad from received x-packets.
-				pad := make([]Sym, width)
-				for c := 0; c < plan.NumX; c++ {
-					if v := yox.At(pads[t][k], c); v != 0 {
-						if !recv[t].Has(packet.ID(c)) {
-							return nil, fmt.Errorf("unicast: pad for terminal %d uses unreceived packet %d", t, c)
-						}
-						f.AddMulSlice(pad, xSym[c], v)
+				// Recompute the pad from received x-packets: check every
+				// referenced packet arrived, then combine in one batched
+				// kernel call.
+				row := yox.Row(pads[t][k])
+				for c, v := range row {
+					if v != 0 && !recv[t].Has(packet.ID(c)) {
+						return nil, fmt.Errorf("unicast: pad for terminal %d uses unreceived packet %d", t, c)
 					}
 				}
+				pad := make([]Sym, width)
+				f.AddMulSlices(pad, xSym, row)
 				ct := make([]Sym, width)
 				copy(ct, secret[k])
 				f.AddMulSlice(ct, y[pads[t][k]], 1)
