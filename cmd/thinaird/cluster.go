@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// runCoordinator is `thinaird coordinator`: it spawns and supervises a
+// fleet of `thinaird worker` processes (re-execing this binary), owns
+// the cluster session registry, and serves the public API.
+func runCoordinator(args []string) {
+	fs := flag.NewFlagSet("thinaird coordinator", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":9309", "public HTTP listen address")
+		workers  = fs.Int("workers", 3, "worker processes to spawn and supervise")
+		capacity = fs.Int("worker-capacity", 16, "max sessions per worker")
+		hbEvery  = fs.Duration("heartbeat", time.Second, "worker heartbeat period")
+		hbMisses = fs.Int("heartbeat-misses", 3, "missed heartbeats before a worker is replaced")
+		restarts = fs.Int("max-restarts", 5, "respawn budget per worker slot")
+		backoff  = fs.Duration("respawn-backoff", 200*time.Millisecond, "pause before replacing a dead worker")
+		drain    = fs.Duration("drain", 15*time.Second, "graceful drain window per worker")
+		bin      = fs.String("worker-bin", "", "worker executable (default: this binary)")
+	)
+	_ = fs.Parse(args)
+
+	c, err := cluster.New(cluster.Config{
+		Workers:         *workers,
+		WorkerCapacity:  *capacity,
+		HeartbeatEvery:  *hbEvery,
+		HeartbeatMisses: *hbMisses,
+		MaxRestarts:     *restarts,
+		RespawnBackoff:  *backoff,
+		DrainTimeout:    *drain,
+		Spawn:           (&cluster.ExecSpawner{Binary: *bin}).Spawn,
+	})
+	fatal(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = c.Shutdown(context.Background())
+		fatal(err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	// Machine-readable ready line: test harnesses and scripts scan for it
+	// to learn the bound address when -addr picks an ephemeral port.
+	fmt.Printf("THINAIRD_COORDINATOR_READY url=http://%s\n", listenHostPort(ln))
+	fmt.Printf("thinaird: coordinating %d workers on %s\n", *workers, ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("thinaird: %v — draining cluster\n", sig)
+	case err := <-errc:
+		_ = c.Shutdown(context.Background())
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+15*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err := c.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "thinaird: cluster shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("thinaird: cluster drained, all worker pools zeroized")
+}
+
+// runWorker is `thinaird worker`: one supervised session host. It
+// announces its control RPC address on stdout (the ReadyPrefix line the
+// coordinator's spawner scans for) and exits when drained over RPC,
+// signaled, or orphaned by its coordinator.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("thinaird worker", flag.ExitOnError)
+	var (
+		ctl        = fs.String("ctl", "127.0.0.1:0", "control RPC listen address (loopback)")
+		capacity   = fs.Int("capacity", 16, "max concurrently running sessions")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful drain window per session")
+		slot       = fs.Int("slot", 0, "coordinator slot index (labels logs)")
+		supervised = fs.Bool("supervised", false, "exit when the parent process goes away")
+	)
+	_ = fs.Parse(args)
+
+	w := cluster.NewWorker(cluster.WorkerConfig{Capacity: *capacity, DrainTimeout: *drain})
+	ln, err := net.Listen("tcp", *ctl)
+	fatal(err)
+	srv := &http.Server{Handler: w.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("%s url=http://%s\n", cluster.ReadyPrefix, listenHostPort(ln))
+
+	// A supervised worker must not outlive its coordinator: being
+	// reparented (the parent pid changes) means the coordinator is gone,
+	// so drain and exit rather than linger as an orphan.
+	orphaned := make(chan struct{})
+	if *supervised {
+		parent := os.Getppid()
+		go func() {
+			for {
+				time.Sleep(time.Second)
+				if os.Getppid() != parent {
+					close(orphaned)
+					return
+				}
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "thinaird worker %d: %v — draining\n", *slot, sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+		_ = w.Drain(ctx)
+		cancel()
+	case <-orphaned:
+		fmt.Fprintf(os.Stderr, "thinaird worker %d: coordinator gone — draining\n", *slot)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+		_ = w.Drain(ctx)
+		cancel()
+	case <-w.Drained():
+		// Drained over RPC: pools are zeroized; nothing left to host.
+	case err := <-errc:
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = srv.Shutdown(ctx)
+	cancel()
+	fmt.Fprintf(os.Stderr, "thinaird worker %d: exiting\n", *slot)
+}
+
+// listenHostPort renders a dialable host:port for a listener that may
+// have bound a wildcard address.
+func listenHostPort(ln net.Listener) string {
+	addr := ln.Addr().(*net.TCPAddr)
+	host := addr.IP.String()
+	if addr.IP.IsUnspecified() || addr.IP == nil {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, fmt.Sprint(addr.Port))
+}

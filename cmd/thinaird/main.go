@@ -15,6 +15,16 @@
 //	thinaird -connect http://localhost:9309 -create -n 3 -erasure 0.45
 //	thinaird -connect http://localhost:9309 -draw 1 -bytes 32
 //	thinaird -connect http://localhost:9309 -close 1
+//
+// Cluster mode runs the multi-process tier (internal/cluster): a
+// coordinator process owns the session registry and the public API, and
+// supervised worker processes host the sessions over loopback UDP buses:
+//
+//	thinaird coordinator -addr :9309 -workers 3 -worker-capacity 16
+//	thinaird worker -ctl 127.0.0.1:0 -capacity 16    # normally spawned by the coordinator
+//
+// The client-mode flags work against a coordinator too — the tiers share
+// the /v1/sessions API shape.
 package main
 
 import (
@@ -34,6 +44,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "coordinator":
+			runCoordinator(os.Args[2:])
+			return
+		case "worker":
+			runWorker(os.Args[2:])
+			return
+		}
+	}
 	var (
 		// Serve mode.
 		addr        = flag.String("addr", ":9309", "HTTP listen address (serve mode)")

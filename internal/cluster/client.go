@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/keypool"
+	"repro/internal/service"
+)
+
+// WorkerClient is the coordinator's handle on one worker's control RPC.
+// Transport-level failures surface as ErrUnreachable; RPC rejections map
+// back to the typed errors the worker raised (ErrDraining, ErrDuplicate,
+// service.ErrSaturated, keypool.ErrExhausted/ErrClosed, ErrNotFound).
+type WorkerClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewWorkerClient returns a client for the worker at base (e.g.
+// "http://127.0.0.1:41234"). Calls are bounded by their context; the
+// embedded client adds a generous fallback timeout so a wedged worker
+// cannot hang the coordinator.
+func NewWorkerClient(base string) *WorkerClient {
+	return &WorkerClient{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// URL returns the worker's control base URL.
+func (c *WorkerClient) URL() string { return c.base }
+
+// CloseIdle drops idle keep-alive connections (their background read
+// goroutines otherwise linger past worker teardown).
+func (c *WorkerClient) CloseIdle() { c.hc.CloseIdleConnections() }
+
+// do performs one RPC and decodes the JSON response into out (when
+// non-nil). Non-2xx statuses are mapped to typed errors via the body's
+// error code.
+func (c *WorkerClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// The caller giving up is not the worker being gone: ErrUnreachable
+		// drives supervision and registry decisions, so a cancelled or
+		// expired context must surface as itself.
+		if ctx.Err() != nil {
+			return fmt.Errorf("cluster: worker rpc: %w", ctx.Err())
+		}
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	// Read the body to EOF so the keep-alive connection is reusable —
+	// heartbeats run every few hundred ms against every worker.
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return rpcError(resp.StatusCode, eb)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// rpcError maps a worker error response back to the typed error the
+// worker raised.
+func rpcError(status int, eb errorBody) error {
+	msg := eb.Error
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	switch eb.Code {
+	case codeDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, msg)
+	case codeDuplicate:
+		return fmt.Errorf("%w: %s", ErrDuplicate, msg)
+	case codeSaturated:
+		return fmt.Errorf("%w: %s", service.ErrSaturated, msg)
+	case codeExhausted:
+		return fmt.Errorf("%w: %s", keypool.ErrExhausted, msg)
+	case codeClosed:
+		return fmt.Errorf("%w: %s", keypool.ErrClosed, msg)
+	case codeNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	case codeOrphaned:
+		return fmt.Errorf("%w: %s", ErrOrphaned, msg)
+	case codeShutdown:
+		return fmt.Errorf("%w: %s", ErrShutdown, msg)
+	}
+	return fmt.Errorf("cluster: worker rpc status %d: %s", status, msg)
+}
+
+// Health probes /ctl/healthz — the heartbeat.
+func (c *WorkerClient) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/ctl/healthz", nil, nil)
+}
+
+// Stats fetches the worker snapshot.
+func (c *WorkerClient) Stats(ctx context.Context) (WorkerStats, error) {
+	var st WorkerStats
+	err := c.do(ctx, http.MethodGet, "/ctl/stats", nil, &st)
+	return st, err
+}
+
+// Assign places a cluster session on the worker.
+func (c *WorkerClient) Assign(ctx context.Context, cid uint64, spec service.SessionSpec) (service.SessionMetrics, error) {
+	var m service.SessionMetrics
+	err := c.do(ctx, http.MethodPost, "/ctl/assign", assignRequest{ID: cid, Spec: spec}, &m)
+	return m, err
+}
+
+// Close gracefully stops one cluster session on the worker.
+func (c *WorkerClient) Close(ctx context.Context, cid uint64) error {
+	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/ctl/sessions/%d", cid), nil, nil)
+}
+
+// Metrics snapshots one cluster session on the worker.
+func (c *WorkerClient) Metrics(ctx context.Context, cid uint64) (service.SessionMetrics, error) {
+	var m service.SessionMetrics
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/ctl/sessions/%d", cid), nil, &m)
+	return m, err
+}
+
+// Draw dispenses n bytes of key material from a cluster session.
+func (c *WorkerClient) Draw(ctx context.Context, cid uint64, n int) ([]byte, error) {
+	var dr drawResponse
+	if err := c.do(ctx, http.MethodPost, fmt.Sprintf("/ctl/sessions/%d/draw?bytes=%d", cid, n), nil, &dr); err != nil {
+		return nil, err
+	}
+	return hex.DecodeString(dr.Key)
+}
+
+// Drain asks the worker to drain every session and zeroize every pool.
+func (c *WorkerClient) Drain(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/ctl/drain", nil, nil)
+}

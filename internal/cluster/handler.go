@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/service"
+)
+
+// Handler returns the coordinator's public HTTP surface — the same shape
+// as the single-process service API, with sessions addressed by their
+// cluster id and draws routed to whichever worker owns the session:
+//
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /v1/cluster               workers + tier counters (JSON)
+//	GET    /v1/sessions              cluster sessions with live metrics
+//	POST   /v1/sessions              create from a SessionSpec body
+//	GET    /v1/sessions/{id}         one session's info + metrics
+//	DELETE /v1/sessions/{id}         close tier-wide
+//	POST   /v1/sessions/{id}/draw    draw ?bytes=N of key material
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		m := c.Metrics()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ok",
+			"uptime":        c.Uptime().String(),
+			"workers_alive": m.WorkersAlive,
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c.Metrics().WriteProm(w)
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Metrics())
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Sessions(r.Context()))
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var spec service.SessionSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "", err)
+			return
+		}
+		info, err := c.Create(spec)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrShutdown):
+				httpError(w, http.StatusServiceUnavailable, codeShutdown, err)
+			case errors.Is(err, ErrNoWorkers):
+				httpError(w, http.StatusServiceUnavailable, codeSaturated, err)
+			default:
+				httpError(w, http.StatusBadRequest, "", err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(w, r)
+		if !ok {
+			return
+		}
+		info, err := c.Session(r.Context(), cid)
+		if err != nil {
+			httpError(w, http.StatusNotFound, codeNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(w, r)
+		if !ok {
+			return
+		}
+		if err := c.CloseSession(r.Context(), cid); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			httpError(w, status, "", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"closed": cid})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/draw", func(w http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(w, r)
+		if !ok {
+			return
+		}
+		n, ok := drawBytes(w, r)
+		if !ok {
+			return
+		}
+		key, err := c.Draw(r.Context(), cid, n)
+		if err != nil {
+			writeDrawError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, drawResponse{
+			Session: cid, Bytes: n, Key: hex.EncodeToString(key),
+		})
+	})
+	return mux
+}
+
+// WriteProm renders the cluster snapshot in the Prometheus text format,
+// prefixed thinaird_cluster_ so a coordinator and a single-process
+// daemon can be scraped side by side.
+func (m ClusterMetrics) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "thinaird_cluster_uptime_seconds %g\n", m.UptimeSeconds)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_workers_alive gauge\n")
+	fmt.Fprintf(w, "thinaird_cluster_workers_alive %d\n", m.WorkersAlive)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions gauge\n")
+	fmt.Fprintf(w, "thinaird_cluster_sessions %d\n", m.Sessions)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_orphaned gauge\n")
+	fmt.Fprintf(w, "thinaird_cluster_sessions_orphaned %d\n", m.Orphaned)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_created_total counter\n")
+	fmt.Fprintf(w, "thinaird_cluster_sessions_created_total %d\n", m.Created)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_removed_total counter\n")
+	fmt.Fprintf(w, "thinaird_cluster_sessions_removed_total %d\n", m.Removed)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_failed_total counter\n")
+	fmt.Fprintf(w, "thinaird_cluster_sessions_failed_total %d\n", m.Failed)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_reassigned_total counter\n")
+	fmt.Fprintf(w, "thinaird_cluster_sessions_reassigned_total %d\n", m.Reassigned)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_worker_restarts_total counter\n")
+	fmt.Fprintf(w, "thinaird_cluster_worker_restarts_total %d\n", m.Restarts)
+	fmt.Fprintf(w, "# TYPE thinaird_cluster_worker_sessions gauge\n")
+	for _, wi := range m.Workers {
+		fmt.Fprintf(w, "thinaird_cluster_worker_sessions{slot=%q,alive=%q} %d\n",
+			strconv.Itoa(wi.Slot), strconv.FormatBool(wi.Alive), wi.Sessions)
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// newTestWorker spins up a worker behind a real HTTP server and returns
+// a client for its control RPC.
+func newTestWorker(t *testing.T, cfg WorkerConfig) (*Worker, *WorkerClient) {
+	t.Helper()
+	w := NewWorker(cfg)
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = w.Drain(ctx)
+		srv.Close()
+	})
+	return w, NewWorkerClient(srv.URL)
+}
+
+// TestWorkerControlRPCFailureStates is the table-driven contract for the
+// worker-control RPC: each failure condition must come back over the
+// wire as the exact typed error the coordinator's placement and routing
+// logic switches on.
+func TestWorkerControlRPCFailureStates(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cases := []struct {
+		name string
+		cfg  WorkerConfig
+		// arrange runs against the fresh worker before the probed call.
+		arrange func(t *testing.T, w *Worker, cl *WorkerClient)
+		// act is the call whose error is checked.
+		act     func(cl *WorkerClient) error
+		wantErr error
+	}{
+		{
+			name: "unreachable worker",
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+			},
+			act: func(cl *WorkerClient) error {
+				// A port nothing listens on: connection refused.
+				dead := NewWorkerClient("http://127.0.0.1:1")
+				_, err := dead.Assign(ctx, 1, fastSpec(1))
+				return err
+			},
+			wantErr: ErrUnreachable,
+		},
+		{
+			name: "assign to draining worker",
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+				if err := cl.Drain(ctx); err != nil {
+					t.Fatal(err)
+				}
+			},
+			act: func(cl *WorkerClient) error {
+				_, err := cl.Assign(ctx, 7, fastSpec(7))
+				return err
+			},
+			wantErr: ErrDraining,
+		},
+		{
+			name: "double assign",
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+				if _, err := cl.Assign(ctx, 42, fastSpec(42)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			act: func(cl *WorkerClient) error {
+				_, err := cl.Assign(ctx, 42, fastSpec(43))
+				return err
+			},
+			wantErr: ErrDuplicate,
+		},
+		{
+			name: "assign beyond capacity",
+			cfg:  WorkerConfig{Capacity: 1},
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+				// Capacity 1 admits one running plus one queued session.
+				for cid := uint64(1); cid <= 2; cid++ {
+					if _, err := cl.Assign(ctx, cid, fastSpec(int64(cid))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+			act: func(cl *WorkerClient) error {
+				_, err := cl.Assign(ctx, 3, fastSpec(3))
+				return err
+			},
+			wantErr: service.ErrSaturated,
+		},
+		{
+			name: "invalid spec",
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+			},
+			act: func(cl *WorkerClient) error {
+				bad := fastSpec(1)
+				bad.Erasure = 1.5
+				_, err := cl.Assign(ctx, 9, bad)
+				return err
+			},
+			wantErr: nil, // generic RPC error: no retry class applies
+		},
+		{
+			name: "draw from unknown session",
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+			},
+			act: func(cl *WorkerClient) error {
+				_, err := cl.Draw(ctx, 404, 16)
+				return err
+			},
+			wantErr: ErrNotFound,
+		},
+		{
+			name: "close unknown session",
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+			},
+			act: func(cl *WorkerClient) error {
+				return cl.Close(ctx, 404)
+			},
+			wantErr: ErrNotFound,
+		},
+		{
+			name: "draw after drain finds nothing",
+			arrange: func(t *testing.T, w *Worker, cl *WorkerClient) {
+				if _, err := cl.Assign(ctx, 5, fastSpec(5)); err != nil {
+					t.Fatal(err)
+				}
+				if err := cl.Drain(ctx); err != nil {
+					t.Fatal(err)
+				}
+			},
+			act: func(cl *WorkerClient) error {
+				// The drained session is pruned from the worker's map, so the
+				// draw misses rather than hitting a zeroized pool.
+				_, err := cl.Draw(ctx, 5, 16)
+				return err
+			},
+			wantErr: ErrNotFound,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, cl := newTestWorker(t, tc.cfg)
+			tc.arrange(t, w, cl)
+			err := tc.act(cl)
+			if err == nil {
+				t.Fatalf("call succeeded, want error %v", tc.wantErr)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestWorkerAssignDrawRoundTrip is the RPC happy path: assign, wait for
+// the pool, draw, stats, close.
+func TestWorkerAssignDrawRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	_, cl := newTestWorker(t, WorkerConfig{Capacity: 2})
+
+	spec := fastSpec(99)
+	if _, err := cl.Assign(ctx, 11, spec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "pool fill over RPC", func() bool {
+		m, err := cl.Metrics(ctx, 11)
+		return err == nil && m.Pool.Available >= spec.TargetDepth
+	})
+	key, err := cl.Draw(ctx, 11, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 64 {
+		t.Fatalf("drew %d bytes, want 64", len(key))
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != 1 || st.Sessions[11].Pool.Drawn != 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := cl.Close(ctx, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Metrics(ctx, 11); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("metrics after close: %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// Capacity bounds concurrently running sessions on this worker (the
+	// underlying service's runner pool). 0 means 16.
+	Capacity int
+	// DrainTimeout bounds each session's graceful drain. 0 means 10s.
+	DrainTimeout time.Duration
+}
+
+func (c *WorkerConfig) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 16
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Worker hosts a bounded set of cluster sessions on one service instance
+// and answers the coordinator's control RPC. Sessions are addressed by
+// their cluster id; the worker-local service id is an implementation
+// detail the coordinator never sees.
+type Worker struct {
+	cfg WorkerConfig
+	svc *service.Service
+
+	mu        sync.Mutex
+	byCluster map[uint64]*service.Session
+	pending   map[uint64]bool // assigns in flight (duplicate-check to map-insert)
+	draining  bool
+
+	drainOnce sync.Once
+	drained   chan struct{} // closed once Drain has zeroized every pool
+}
+
+// NewWorker starts a worker around a fresh service instance.
+func NewWorker(cfg WorkerConfig) *Worker {
+	cfg.fill()
+	return &Worker{
+		cfg: cfg,
+		svc: service.New(service.Config{
+			MaxSessions:  cfg.Capacity,
+			MaxQueued:    cfg.Capacity,
+			DrainTimeout: cfg.DrainTimeout,
+		}),
+		byCluster: make(map[uint64]*service.Session),
+		pending:   make(map[uint64]bool),
+		drained:   make(chan struct{}),
+	}
+}
+
+// Service exposes the underlying session manager (metrics, tests).
+func (w *Worker) Service() *service.Service { return w.svc }
+
+// Assign places cluster session cid on this worker. Cluster sessions run
+// over real sockets: the coordinator forces UDP in the spec it sends.
+func (w *Worker) Assign(cid uint64, spec service.SessionSpec) (*service.Session, error) {
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if w.pending[cid] {
+		// A concurrent assign for the same id is between its duplicate
+		// check and its map insert; without this reservation both would
+		// create sessions and one would leak untracked.
+		w.mu.Unlock()
+		return nil, fmt.Errorf("%w: cluster session %d (assign in flight)", ErrDuplicate, cid)
+	}
+	if old, ok := w.byCluster[cid]; ok {
+		// A finished session may linger in the map; only a live one makes
+		// the assignment a duplicate.
+		if st := old.State(); st != service.StateClosed && st != service.StateFailed {
+			w.mu.Unlock()
+			return nil, fmt.Errorf("%w: cluster session %d", ErrDuplicate, cid)
+		}
+		delete(w.byCluster, cid)
+	}
+	w.pending[cid] = true
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.pending, cid)
+		w.mu.Unlock()
+	}()
+
+	s, err := w.svc.Create(spec)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if w.draining {
+		// Drain began while the session was being created; don't strand it.
+		w.mu.Unlock()
+		s.Close()
+		return nil, ErrDraining
+	}
+	w.byCluster[cid] = s
+	w.mu.Unlock()
+	return s, nil
+}
+
+// lookup resolves a cluster id to its live session, pruning sessions that
+// finished on their own (failed channels, explicit closes).
+func (w *Worker) lookup(cid uint64) (*service.Session, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.byCluster[cid]
+	if !ok {
+		return nil, fmt.Errorf("%w: cluster session %d", ErrNotFound, cid)
+	}
+	if st := s.State(); st == service.StateClosed || st == service.StateFailed {
+		delete(w.byCluster, cid)
+		return nil, fmt.Errorf("%w: cluster session %d %v", ErrNotFound, cid, st)
+	}
+	return s, nil
+}
+
+// Close gracefully stops one cluster session.
+func (w *Worker) Close(cid uint64) error {
+	s, err := w.lookup(cid)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	delete(w.byCluster, cid)
+	w.mu.Unlock()
+	s.Close()
+	return nil
+}
+
+// Draw dispenses key material from a cluster session's pool.
+func (w *Worker) Draw(cid uint64, n int) ([]byte, error) {
+	s, err := w.lookup(cid)
+	if err != nil {
+		return nil, err
+	}
+	return s.Draw(n)
+}
+
+// Metrics snapshots one cluster session.
+func (w *Worker) Metrics(cid uint64) (service.SessionMetrics, error) {
+	s, err := w.lookup(cid)
+	if err != nil {
+		return service.SessionMetrics{}, err
+	}
+	return s.Metrics(), nil
+}
+
+// Drain gracefully stops every session and zeroizes every pool (the
+// underlying service shutdown). After Drain the worker rejects
+// assignments; a supervised worker process exits once Drained fires.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+	err := w.svc.Shutdown(ctx)
+	w.drainOnce.Do(func() { close(w.drained) })
+	return err
+}
+
+// Drained is closed once Drain has completed.
+func (w *Worker) Drained() <-chan struct{} { return w.drained }
+
+// WorkerStats is the /ctl/stats snapshot.
+type WorkerStats struct {
+	PID      int  `json:"pid"`
+	Capacity int  `json:"capacity"`
+	Draining bool `json:"draining"`
+	// Sessions maps cluster session ids to their live metrics.
+	Sessions map[uint64]service.SessionMetrics `json:"sessions"`
+}
+
+// Stats snapshots the worker: capacity, drain state, and every live
+// cluster session. Finished sessions are pruned as a side effect, so the
+// coordinator's reconciliation sees them disappear.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	live := make(map[uint64]*service.Session, len(w.byCluster))
+	for cid, s := range w.byCluster {
+		if st := s.State(); st == service.StateClosed || st == service.StateFailed {
+			delete(w.byCluster, cid)
+			continue
+		}
+		live[cid] = s
+	}
+	st := WorkerStats{
+		PID:      os.Getpid(),
+		Capacity: w.cfg.Capacity,
+		Draining: w.draining,
+		Sessions: make(map[uint64]service.SessionMetrics, len(live)),
+	}
+	w.mu.Unlock()
+	for cid, s := range live {
+		st.Sessions[cid] = s.Metrics()
+	}
+	return st
+}
+
+// Handler returns the worker's HTTP surface: the control RPC under /ctl/
+// plus the ordinary service handler (its /metrics and /v1/sessions views
+// stay useful for debugging a single worker).
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", w.svc.Handler())
+	mux.HandleFunc("GET /ctl/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		draining := w.draining
+		sessions := len(w.byCluster)
+		w.mu.Unlock()
+		status := "ok"
+		if draining {
+			status = "draining"
+		}
+		writeJSON(rw, http.StatusOK, map[string]any{
+			"status": status, "sessions": sessions, "pid": os.Getpid(),
+		})
+	})
+	mux.HandleFunc("GET /ctl/stats", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, w.Stats())
+	})
+	mux.HandleFunc("POST /ctl/assign", func(rw http.ResponseWriter, r *http.Request) {
+		var req assignRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(rw, http.StatusBadRequest, "", err)
+			return
+		}
+		s, err := w.Assign(req.ID, req.Spec)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrDraining):
+				httpError(rw, http.StatusServiceUnavailable, codeDraining, err)
+			case errors.Is(err, ErrDuplicate):
+				httpError(rw, http.StatusConflict, codeDuplicate, err)
+			case errors.Is(err, service.ErrSaturated):
+				httpError(rw, http.StatusTooManyRequests, codeSaturated, err)
+			default:
+				httpError(rw, http.StatusBadRequest, "", err)
+			}
+			return
+		}
+		writeJSON(rw, http.StatusCreated, s.Metrics())
+	})
+	mux.HandleFunc("POST /ctl/drain", func(rw http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), w.cfg.DrainTimeout+5*time.Second)
+		defer cancel()
+		err := w.Drain(ctx)
+		if err != nil {
+			httpError(rw, http.StatusInternalServerError, "", err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, map[string]any{"drained": true})
+	})
+	mux.HandleFunc("GET /ctl/sessions/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(rw, r)
+		if !ok {
+			return
+		}
+		m, err := w.Metrics(cid)
+		if err != nil {
+			httpError(rw, http.StatusNotFound, codeNotFound, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, m)
+	})
+	mux.HandleFunc("DELETE /ctl/sessions/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(rw, r)
+		if !ok {
+			return
+		}
+		if err := w.Close(cid); err != nil {
+			httpError(rw, http.StatusNotFound, codeNotFound, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, map[string]any{"closed": cid})
+	})
+	mux.HandleFunc("POST /ctl/sessions/{id}/draw", func(rw http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(rw, r)
+		if !ok {
+			return
+		}
+		n, ok := drawBytes(rw, r)
+		if !ok {
+			return
+		}
+		key, err := w.Draw(cid, n)
+		if err != nil {
+			writeDrawError(rw, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, drawResponse{
+			Session: cid, Bytes: n, Key: hex.EncodeToString(key),
+		})
+	})
+	return mux
+}

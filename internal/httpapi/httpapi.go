@@ -1,0 +1,50 @@
+// Package httpapi holds the small wire helpers the single-process
+// service API and the cluster tier share, so the two surfaces — which
+// are documented as the same shape — cannot silently diverge on JSON
+// envelopes, error bodies, or the draw-parameter contract.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// ErrorBody is the JSON error envelope. Code is a machine-readable
+// slug (the cluster tier uses it to map HTTP statuses back to typed
+// errors); plain service errors leave it empty.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Error writes the error envelope. code may be empty.
+func Error(w http.ResponseWriter, status int, code string, err error) {
+	WriteJSON(w, status, ErrorBody{Error: err.Error(), Code: code})
+}
+
+// MaxDrawBytes caps one key draw (1 MiB).
+const MaxDrawBytes = 1 << 20
+
+// DrawBytes parses the ?bytes=N query of a draw request (default 32,
+// capped at MaxDrawBytes), writing the 400 itself when invalid.
+func DrawBytes(w http.ResponseWriter, r *http.Request) (int, bool) {
+	n := 32
+	if q := r.URL.Query().Get("bytes"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 || v > MaxDrawBytes {
+			Error(w, http.StatusBadRequest, "", errors.New("bytes must be in 1..1048576"))
+			return 0, false
+		}
+		n = v
+	}
+	return n, true
+}

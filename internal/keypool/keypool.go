@@ -59,6 +59,10 @@ type Stats struct {
 	// directly and are accounted by Deposited.
 	Refills      int64
 	RefillErrors int64
+	// Closed reports a zeroized pool: all material wiped, draws fail
+	// permanently. A metrics consumer uses it to tell "empty, refilling"
+	// from "gone".
+	Closed bool
 }
 
 // Pool banks secret bytes and dispenses one-time keys.
@@ -150,6 +154,7 @@ func (p *Pool) Stats() Stats {
 		LowWaterHits: p.lowWaterHits,
 		Refills:      p.refills,
 		RefillErrors: p.refillErrors,
+		Closed:       p.closed,
 	}
 }
 

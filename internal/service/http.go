@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/httpapi"
 	"repro/internal/keypool"
 )
 
@@ -81,14 +82,9 @@ func (sv *Service) Handler() http.Handler {
 		if !ok {
 			return
 		}
-		n := 32
-		if q := r.URL.Query().Get("bytes"); q != "" {
-			v, err := strconv.Atoi(q)
-			if err != nil || v <= 0 || v > 1<<20 {
-				httpError(w, http.StatusBadRequest, errors.New("bytes must be in 1..1048576"))
-				return
-			}
-			n = v
+		n, ok := httpapi.DrawBytes(w, r)
+		if !ok {
+			return
 		}
 		key, err := s.Draw(n)
 		if err != nil {
@@ -126,12 +122,10 @@ func (sv *Service) sessionFromPath(w http.ResponseWriter, r *http.Request) (*Ses
 	return s, true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
+// writeJSON and httpError are the wire helpers shared with the cluster
+// tier (internal/httpapi), so both surfaces speak the same envelope.
+func writeJSON(w http.ResponseWriter, status int, v any) { httpapi.WriteJSON(w, status, v) }
 
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]any{"error": err.Error()})
+	httpapi.Error(w, status, "", err)
 }

@@ -39,8 +39,12 @@ type SessionMetrics struct {
 	LastError string `json:"last_error,omitempty"`
 }
 
-// Metrics returns the session's snapshot.
+// Metrics returns the session's snapshot. State and pool are read under
+// the session's snapshot lock so a scrape racing a drain sees either the
+// live session or the fully torn-down one, never a torn mix (a running
+// state over a zeroized pool).
 func (s *Session) Metrics() SessionMetrics {
+	s.snapMu.RLock()
 	m := SessionMetrics{
 		ID:            s.ID,
 		Name:          s.spec.Name,
@@ -55,6 +59,7 @@ func (s *Session) Metrics() SessionMetrics {
 		SecretBytes:   s.secretOut.Load(),
 		Pool:          s.pool.Stats(),
 	}
+	s.snapMu.RUnlock()
 	if sd, ud, ok := s.eveCertificate(); ok {
 		m.EveSecretDims, m.EveUnknownDims = sd, ud
 		if sd > 0 {
@@ -146,6 +151,12 @@ func (m ServiceMetrics) WriteProm(w io.Writer) {
 	emit("thinaird_session_pool_available_bytes", "gauge", always(func(s SessionMetrics) float64 { return float64(s.Pool.Available) }))
 	emit("thinaird_session_pool_drawn_bytes_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Pool.Drawn) }))
 	emit("thinaird_session_pool_low_water_hits_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Pool.LowWaterHits) }))
+	emit("thinaird_session_pool_closed", "gauge", always(func(s SessionMetrics) float64 {
+		if s.Pool.Closed {
+			return 1
+		}
+		return 0
+	}))
 	emit("thinaird_session_eve_reliability", "gauge", func(s SessionMetrics) (float64, bool) {
 		if s.EveSecretDims == 0 || math.IsNaN(s.EveReliability) {
 			return 0, false

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMetricsShutdownConsistency pins the drain-vs-metrics race: the
+// pool zeroize and the session's final state transition used to be two
+// separate teardown steps, so a /metrics scrape concurrent with a drain
+// could snapshot a torn session — state still "running" over an
+// already-zeroized pool. The snapshot lock makes teardown atomic with
+// respect to Metrics; this test hammers snapshots (both the per-session
+// and the daemon-wide path, plus the Prometheus renderer) across a full
+// shutdown and fails on any torn observation. Run under -race in CI.
+func TestMetricsShutdownConsistency(t *testing.T) {
+	sv := New(Config{MaxSessions: 4, DrainTimeout: 5 * time.Second})
+	var ss []*Session
+	for i := 0; i < 4; i++ {
+		s, err := sv.Create(fastSpec(int64(600 + i*7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss = append(ss, s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, s := range ss {
+		if err := s.WaitReady(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	check := func(m SessionMetrics) {
+		if m.State == StateRunning.String() && m.Pool.Closed {
+			torn.Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := sv.Metrics()
+				for _, sm := range m.Sessions {
+					check(sm)
+				}
+				for _, s := range ss {
+					check(s.Metrics())
+				}
+				m.WriteProm(io.Discard)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let scrapes overlap live refreshes
+
+	sctx, scancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer scancel()
+	if err := sv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Keep scraping a moment after shutdown so the post-teardown state is
+	// also covered, then stop the hammer.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("observed %d torn snapshots (running state over a zeroized pool)", n)
+	}
+	for _, s := range ss {
+		if m := s.Metrics(); !m.Pool.Closed {
+			t.Fatalf("session %d pool not reported closed after shutdown: %+v", s.ID, m.Pool)
+		}
+	}
+}

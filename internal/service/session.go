@@ -147,6 +147,14 @@ type Session struct {
 	closeOnce sync.Once
 	readyOnce sync.Once
 
+	// snapMu serializes teardown (pool zeroize + final state transition)
+	// against Metrics snapshots: without it a /metrics scrape racing a
+	// drain can observe a torn session — state still running, pool
+	// already zeroized — because the two teardown writes are separate
+	// atomics. Writers hold it for the teardown pair; snapshots hold the
+	// read side.
+	snapMu sync.RWMutex
+
 	state     atomic.Int32
 	rounds    atomic.Int64
 	prodRound atomic.Int64
@@ -233,10 +241,15 @@ func (s *Session) closeNow() {
 	// A session closed while still queued is never claimed by a runner
 	// (the runner's claim CAS fails), so finish its lifecycle here and
 	// release its queue slot immediately.
-	if s.state.CompareAndSwap(int32(StateQueued), int32(StateClosed)) {
+	s.snapMu.Lock()
+	queued := s.state.CompareAndSwap(int32(StateQueued), int32(StateClosed))
+	if queued {
+		s.pool.Zeroize()
+	}
+	s.snapMu.Unlock()
+	if queued {
 		s.svc.dropPending(s)
 		s.svc.forget(s.ID)
-		s.pool.Zeroize()
 		close(s.done)
 		return
 	}
@@ -269,11 +282,15 @@ func (s *Session) stopRequested() bool {
 func (s *Session) run() {
 	defer close(s.done)
 	defer func() {
+		// The pool wipe and the final state transition are one atomic
+		// step as far as Metrics is concerned (see snapMu).
+		s.snapMu.Lock()
+		s.pool.Zeroize()
 		if State(s.state.Load()) != StateFailed {
 			s.state.Store(int32(StateClosed))
 		}
+		s.snapMu.Unlock()
 	}()
-	defer s.pool.Zeroize()
 	defer s.cancel()
 	if s.stopRequested() { // closed right after being claimed
 		return

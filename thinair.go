@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"repro/internal/auth"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/keypool"
 	"repro/internal/radio"
@@ -311,3 +312,24 @@ type (
 // NewService starts a daemon; call Shutdown to drain and zeroize it.
 // Service.Handler exposes /metrics, /healthz and the /v1/sessions API.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// Cluster-tier re-exports: the multi-process layer where a coordinator
+// owns the session registry and supervises worker processes that each
+// host sessions over UDP buses (see internal/cluster and the
+// `thinaird coordinator` / `thinaird worker` subcommands).
+type (
+	// Coordinator owns the cluster registry, placement and supervision.
+	Coordinator = cluster.Coordinator
+	// ClusterConfig sizes the tier and its heartbeat/restart policy.
+	ClusterConfig = cluster.Config
+	// ClusterWorker hosts a bounded set of cluster sessions.
+	ClusterWorker = cluster.Worker
+	// ClusterSessionInfo is the registry's view of one session.
+	ClusterSessionInfo = cluster.SessionInfo
+)
+
+// NewCoordinator starts the cluster tier; call Shutdown to drain every
+// worker and zeroize every pool tier-wide. With a nil Spawn the workers
+// are hosted in-process (cluster.InProcess); pass a cluster.ExecSpawner
+// to run them as separate OS processes.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
