@@ -11,34 +11,66 @@ import (
 	"repro/internal/gf"
 )
 
-// The GF kernel benchmark matrix formatter: runs the same field x slice
-// length x kernel grid as BenchmarkAddMulSlice in internal/gf and writes
-// the results as JSON (BENCH_gf.json in CI). The "dispatch" arm measures
-// whatever kernel the arch-dispatch layer selected on this machine; the
-// "generic" arm pins the portable reference layer, so every dispatch row
-// carries its speedup over generic and the perf trajectory of the
-// accelerated kernels is recorded next to the baseline it must beat.
+// The GF kernel benchmark formatter: runs the single-source kernel matrix
+// (field x slice length x kernel, as BenchmarkAddMulSlice) and the fused
+// multi-source matrix (field x slice length x source count x routing arm,
+// as BenchmarkAddMulSlices) and writes the results as JSON (BENCH_gf.json
+// in CI).
+//
+// Single-source rows: the "dispatch" arm measures whatever kernel the
+// arch-dispatch layer selected on this machine; the "generic" arm pins
+// the portable reference layer, so every dispatch row carries its speedup
+// over generic.
+//
+// Fused rows: the "fused" arm measures AddMulSlices (multi-source strip
+// kernels where available); the "perterm" arm pins AddMulSlicesPerTerm —
+// one accumulator walk per term, the pre-fusion dispatch path — so every
+// fused row carries speedup_vs_per_term. Slice lengths cover short (256
+// symbols: term-grouping overhead regime), mid (16384: compute-bound
+// regime) and long (4Mi: memory-bound regime, where the accumulator
+// traffic fusion saves dominates — the erasure/bulk-workload shape).
 
 type gfBenchRow struct {
 	Name             string  `json:"name"`
 	Field            string  `json:"field"`
 	N                int     `json:"n"`
+	Sources          int     `json:"sources,omitempty"`
 	Kernel           string  `json:"kernel"`
 	NsPerOp          float64 `json:"ns_per_op"`
 	MBPerS           float64 `json:"mb_per_s"`
 	SpeedupVsGeneric float64 `json:"speedup_vs_generic,omitempty"`
+	SpeedupVsPerTerm float64 `json:"speedup_vs_per_term,omitempty"`
 }
 
 type gfBenchReport struct {
-	GOOS            string       `json:"goos"`
-	GOARCH          string       `json:"goarch"`
-	DispatchKernel  string       `json:"dispatch_kernel"`
-	SpeedupGF16Long float64      `json:"speedup_gf16_long"` // dispatch vs generic, n=4096
-	SpeedupGF8Long  float64      `json:"speedup_gf8_long"`
-	Benchmarks      []gfBenchRow `json:"benchmarks"`
+	GOOS            string  `json:"goos"`
+	GOARCH          string  `json:"goarch"`
+	DispatchKernel  string  `json:"dispatch_kernel"`
+	SpeedupGF16Long float64 `json:"speedup_gf16_long"` // dispatch vs generic, n=4096
+	SpeedupGF8Long  float64 `json:"speedup_gf8_long"`
+	// Fused AddMulSlices vs the per-term dispatch path, 4-source
+	// combinations, mid (16384) and long (4Mi) slices.
+	FusedSpeedupGF8Mid4   float64      `json:"fused_speedup_gf8_mid_4src"`
+	FusedSpeedupGF8Long4  float64      `json:"fused_speedup_gf8_long_4src"`
+	FusedSpeedupGF16Mid4  float64      `json:"fused_speedup_gf16_mid_4src"`
+	FusedSpeedupGF16Long4 float64      `json:"fused_speedup_gf16_long_4src"`
+	Benchmarks            []gfBenchRow `json:"benchmarks"`
 }
 
-var gfBenchSizes = []int{64, 256, 1024, 4096, 16384}
+var (
+	gfBenchSizes = []int{64, 256, 1024, 4096, 16384}
+	// Fused matrix shapes: all source counts at short (256) and mid
+	// (16384) slices; the long size (4Mi, the memory-bound bulk regime
+	// where fusion's accumulator-traffic savings dominate) only at
+	// source counts >= gfFusedLongMin — its 1- and 2-source rows add
+	// runtime without adding signal.
+	gfFusedSizes   = []int{256, 16384, 1 << 22}
+	gfFusedSources = []int{1, 2, 4, 8}
+	gfFusedLongMin = 4
+	// gfFusedReps interleaved repetitions per arm; each row reports the
+	// arm's best (minimum ns/op) run.
+	gfFusedReps = 3
+)
 
 func benchGFKernel[E gf.Elem](f *gf.Field[E], n int, generic bool) testing.BenchmarkResult {
 	dst := make([]E, n)
@@ -58,6 +90,34 @@ func benchGFKernel[E gf.Elem](f *gf.Field[E], n int, generic bool) testing.Bench
 				f.AddMulSliceGeneric(dst, src, 7)
 			} else {
 				f.AddMulSlice(dst, src, 7)
+			}
+		}
+	})
+}
+
+func benchGFFused[E gf.Elem](f *gf.Field[E], n, sources int, perTerm bool) testing.BenchmarkResult {
+	dst := make([]E, n)
+	srcs := make([][]E, sources)
+	cs := make([]E, sources)
+	rng := rand.New(rand.NewSource(9))
+	for j := range srcs {
+		srcs[j] = make([]E, n)
+		for i := range srcs[j] {
+			srcs[j][i] = E(rng.Intn(f.Size()))
+		}
+		cs[j] = E(2 + rng.Intn(f.Size()-2))
+	}
+	elemBytes := 1
+	if f.Size() > 256 {
+		elemBytes = 2
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(n * elemBytes * sources))
+		for i := 0; i < b.N; i++ {
+			if perTerm {
+				f.AddMulSlicesPerTerm(dst, srcs, cs)
+			} else {
+				f.AddMulSlices(dst, srcs, cs)
 			}
 		}
 	})
@@ -128,6 +188,70 @@ func gfBench(out string) {
 		rep.SpeedupGF16Long = p[1] / p[0]
 	}
 
+	// The fused multi-source matrix.
+	type key struct {
+		n, sources int
+	}
+	runFused := func(field string, bench func(n, sources int, perTerm bool) testing.BenchmarkResult) map[key]float64 {
+		speedups := make(map[key]float64)
+		for _, n := range gfFusedSizes {
+			for _, sources := range gfFusedSources {
+				if n == gfFusedSizes[len(gfFusedSizes)-1] && sources < gfFusedLongMin {
+					continue
+				}
+				// Interleave the two arms and keep each arm's best run:
+				// min ns/op is the noise-robust throughput estimator, and
+				// alternating keeps host-load drift from biasing one arm
+				// (single runs on shared machines swing both ways by >10%).
+				var fused, per testing.BenchmarkResult
+				for rep := 0; rep < gfFusedReps; rep++ {
+					if r := bench(n, sources, false); rep == 0 || r.NsPerOp() < fused.NsPerOp() {
+						fused = r
+					}
+					if r := bench(n, sources, true); rep == 0 || r.NsPerOp() < per.NsPerOp() {
+						per = r
+					}
+				}
+				fusedNs, perNs := float64(fused.NsPerOp()), float64(per.NsPerOp())
+				row := gfBenchRow{
+					Name:    fmt.Sprintf("AddMulSlices/%s/n%d/s%d/r=fused", field, n, sources),
+					Field:   field,
+					N:       n,
+					Sources: sources,
+					Kernel:  rep.DispatchKernel,
+					NsPerOp: fusedNs,
+					MBPerS:  mbPerS(fused),
+				}
+				if fusedNs > 0 {
+					row.SpeedupVsPerTerm = perNs / fusedNs
+					speedups[key{n, sources}] = row.SpeedupVsPerTerm
+				}
+				rep.Benchmarks = append(rep.Benchmarks, row,
+					gfBenchRow{
+						Name:    fmt.Sprintf("AddMulSlices/%s/n%d/s%d/r=perterm", field, n, sources),
+						Field:   field,
+						N:       n,
+						Sources: sources,
+						Kernel:  rep.DispatchKernel,
+						NsPerOp: perNs,
+						MBPerS:  mbPerS(per),
+					})
+			}
+		}
+		return speedups
+	}
+	sp8 := runFused("gf8", func(n, sources int, perTerm bool) testing.BenchmarkResult {
+		return benchGFFused(gf.GF256(), n, sources, perTerm)
+	})
+	sp16 := runFused("gf16", func(n, sources int, perTerm bool) testing.BenchmarkResult {
+		return benchGFFused(gf.GF65536(), n, sources, perTerm)
+	})
+	mid, long := gfFusedSizes[1], gfFusedSizes[2]
+	rep.FusedSpeedupGF8Mid4 = sp8[key{mid, 4}]
+	rep.FusedSpeedupGF8Long4 = sp8[key{long, 4}]
+	rep.FusedSpeedupGF16Mid4 = sp16[key{mid, 4}]
+	rep.FusedSpeedupGF16Long4 = sp16[key{long, 4}]
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	fatal(err)
 	data = append(data, '\n')
@@ -136,6 +260,8 @@ func gfBench(out string) {
 		fmt.Printf("gf kernel bench: no accelerated kernel on this machine (dispatch=generic) -> %s\n", out)
 		return
 	}
-	fmt.Printf("gf kernel bench: dispatch=%s gf16 long-slice speedup %.2fx, gf8 %.2fx -> %s\n",
-		rep.DispatchKernel, rep.SpeedupGF16Long, rep.SpeedupGF8Long, out)
+	fmt.Printf("gf kernel bench: dispatch=%s gf16 long-slice speedup %.2fx, gf8 %.2fx; fused 4-src vs per-term: gf16 %.2fx (mid) %.2fx (long), gf8 %.2fx (mid) %.2fx (long) -> %s\n",
+		rep.DispatchKernel, rep.SpeedupGF16Long, rep.SpeedupGF8Long,
+		rep.FusedSpeedupGF16Mid4, rep.FusedSpeedupGF16Long4,
+		rep.FusedSpeedupGF8Mid4, rep.FusedSpeedupGF8Long4, out)
 }

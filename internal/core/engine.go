@@ -111,6 +111,12 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 	res := &SessionResult{AllAgreed: true}
 	startBits := med.BitsSent()
 	acct := mac.NewAccountant(mac.Default())
+	// One terminal-side scratch and reception map reused across every
+	// (round, terminal) pair: the agreement check below re-runs the
+	// terminal computation n-1 times per round, which without reuse
+	// dominated the session's allocation profile.
+	var tsc RoundScratch
+	rm := make(map[packet.ID][]Sym)
 	emit := func(kind string, round int, attrs map[string]any) {
 		if cfg.Tracer != nil {
 			cfg.Tracer.Emit(trace.Event{Kind: kind, Round: round, Attrs: attrs})
@@ -267,11 +273,11 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 			if t == leader {
 				continue
 			}
-			rm := make(map[packet.ID][]Sym)
+			clear(rm)
 			for _, id := range recv[t].Slice() {
 				rm[id] = xSym[int(id)]
 			}
-			sec, err := ComputeTerminalSecret(rm, ya, zs, sa)
+			sec, err := ComputeTerminalSecretInto(&tsc, rm, ya, zs, sa)
 			if err != nil {
 				return nil, fmt.Errorf("core: round %d terminal %d: %w", round, t, err)
 			}

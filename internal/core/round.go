@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/gf"
 	"repro/internal/mds"
@@ -91,20 +90,97 @@ func BuildSAnnounce(h wire.Header, plan *Plan) *wire.SAnnounce {
 	return &wire.SAnnounce{Header: h, Coeffs: mds.MatrixToRows(plan.Redist.SCoeffs())}
 }
 
+// RoundScratch holds the reusable buffers one node needs to run the
+// terminal side of a round without per-round allocation churn: the
+// gathered class sources and combination rows ([][]Sym headers), the
+// known-y index, the z-packet ordering buffers, and a payload arena the
+// reconstructed y-packets and s-packets are written into. The zero value
+// is ready to use; buffers grow on first use and are reused afterwards,
+// so a long-lived session node reaches a zero-allocation steady state
+// (pinned by TestRoundCombinationSteadyStateAllocs).
+//
+// Rows returned by ComputeTerminalSecretInto alias the scratch arena and
+// stay valid until the next call with the same scratch; callers that
+// retain a round's secret (every current caller copies it into the
+// session key pool or result buffer) are unaffected.
+type RoundScratch struct {
+	srcs   [][]Sym
+	known  map[int][]Sym
+	zs     []*wire.ZPacket
+	zc     [][]Sym
+	zp     [][]Sym
+	full   [][]Sym
+	secret [][]Sym
+	bufs   [][]Sym
+	nbuf   int
+}
+
+// payload returns a zeroed width-length row from the arena.
+func (sc *RoundScratch) payload(width int) []Sym {
+	if sc.nbuf < len(sc.bufs) && cap(sc.bufs[sc.nbuf]) >= width {
+		b := sc.bufs[sc.nbuf][:width]
+		clear(b)
+		sc.bufs[sc.nbuf] = b
+		sc.nbuf++
+		return b
+	}
+	b := make([]Sym, width)
+	if sc.nbuf < len(sc.bufs) {
+		sc.bufs[sc.nbuf] = b
+	} else {
+		sc.bufs = append(sc.bufs, b)
+	}
+	sc.nbuf++
+	return b
+}
+
+// reset prepares the scratch for a new round.
+func (sc *RoundScratch) reset() {
+	sc.nbuf = 0
+	if sc.known == nil {
+		sc.known = make(map[int][]Sym)
+	} else {
+		clear(sc.known)
+	}
+}
+
 // ComputeTerminalSecret executes the terminal side of a round purely from
-// the wire messages and the terminal's received x-packet payloads:
-// reconstruct the y-packets of every class fully covered by the reception
-// set, complete the rest from the z-packets, then form the s-packets.
-// It returns the round's group secret.
+// the wire messages and the terminal's received x-packet payloads. It
+// allocates fresh result rows; session loops that run many rounds should
+// hold a RoundScratch and call ComputeTerminalSecretInto instead.
 func ComputeTerminalSecret(
 	recv map[packet.ID][]Sym,
 	ya *wire.YAnnounce,
 	zs []*wire.ZPacket,
 	sa *wire.SAnnounce,
 ) ([][]Sym, error) {
+	return ComputeTerminalSecretInto(nil, recv, ya, zs, sa)
+}
+
+// ComputeTerminalSecretInto executes the terminal side of a round:
+// reconstruct the y-packets of every class fully covered by the reception
+// set — each as one fused multi-term kernel combination over the class's
+// x-payloads — complete the rest from the z-packets, then form the
+// s-packets, again one fused combination per row over the full y-set.
+// It returns the round's group secret.
+//
+// sc may be nil (a throwaway scratch is used and the results are fresh);
+// otherwise the returned rows alias sc's arena as documented on
+// RoundScratch.
+func ComputeTerminalSecretInto(
+	sc *RoundScratch,
+	recv map[packet.ID][]Sym,
+	ya *wire.YAnnounce,
+	zs []*wire.ZPacket,
+	sa *wire.SAnnounce,
+) ([][]Sym, error) {
+	if sc == nil {
+		sc = &RoundScratch{}
+	}
+	sc.reset()
 	f := Field()
 	// Reconstruct what we can of the y-packets.
-	known := make(map[int][]Sym)
+	known := sc.known
 	global := 0
 	for _, batch := range ya.Classes {
 		have := true
@@ -114,14 +190,18 @@ func ComputeTerminalSecret(
 				break
 			}
 		}
-		var srcs [][]Sym
+		srcs := sc.srcs[:0]
+		width := 0
 		if have {
 			// Gathered once per class; every coefficient row of the class
 			// combines the same received x-payloads.
-			srcs = make([][]Sym, len(batch.XIDs))
-			for c, id := range batch.XIDs {
-				srcs[c] = recv[packet.ID(id)]
+			for _, id := range batch.XIDs {
+				srcs = append(srcs, recv[packet.ID(id)])
 			}
+			if len(srcs) > 0 {
+				width = len(srcs[0])
+			}
+			sc.srcs = srcs
 		}
 		for r, row := range batch.Coeffs {
 			if len(row) != len(batch.XIDs) {
@@ -129,12 +209,9 @@ func ComputeTerminalSecret(
 			}
 			if have {
 				// All x-payloads in a round share one symbol width, so the
-				// combination is one batched gf kernel call over a
-				// preallocated accumulator.
-				y := []Sym{} // zero-width class (no x-ids): degenerate
-				if len(batch.XIDs) > 0 {
-					y = make([]Sym, len(recv[packet.ID(batch.XIDs[0])]))
-				}
+				// combination is one fused kernel call over a reused
+				// accumulator.
+				y := sc.payload(width)
 				f.AddMulSlices(y, srcs, row)
 				known[global] = y
 			}
@@ -144,10 +221,11 @@ func ComputeTerminalSecret(
 	m := global
 
 	// Order the z-packets by index and check coherence.
-	zsorted := append([]*wire.ZPacket(nil), zs...)
-	sort.Slice(zsorted, func(a, b int) bool { return zsorted[a].Index < zsorted[b].Index })
-	coeffs := make([][]Sym, len(zsorted))
-	payloads := make([][]Sym, len(zsorted))
+	zsorted := append(sc.zs[:0], zs...)
+	sc.zs = zsorted
+	sortZPackets(zsorted)
+	coeffs := sc.zc[:0]
+	payloads := sc.zp[:0]
 	for j, zp := range zsorted {
 		if int(zp.Index) != j {
 			return nil, fmt.Errorf("core: z-packet indices not contiguous (saw %d at position %d)", zp.Index, j)
@@ -158,29 +236,56 @@ func ComputeTerminalSecret(
 		if len(zp.Payload)%2 != 0 {
 			return nil, fmt.Errorf("core: z-packet %d has odd payload length", j)
 		}
-		coeffs[j] = zp.Coeffs
-		payloads[j] = gf.Symbols16(zp.Payload)
+		coeffs = append(coeffs, zp.Coeffs)
+		payloads = append(payloads, gf.Symbols16(zp.Payload))
 	}
+	sc.zc, sc.zp = coeffs, payloads
 
-	full, err := mds.CompleteFromEquations(f, m, known, coeffs, payloads)
-	if err != nil {
-		return nil, fmt.Errorf("core: completing y-packets: %w", err)
+	var full [][]Sym
+	if len(known) == m {
+		// Full reception: every y-packet was reconstructed directly, so the
+		// erasure completion (and its copies) is skipped entirely and the
+		// scratch rows are used as-is.
+		full = sc.full[:0]
+		for i := 0; i < m; i++ {
+			full = append(full, known[i])
+		}
+		sc.full = full
+	} else {
+		var err error
+		full, err = mds.CompleteFromEquations(f, m, known, coeffs, payloads)
+		if err != nil {
+			return nil, fmt.Errorf("core: completing y-packets: %w", err)
+		}
 	}
 
 	// Privacy amplification: s = announced coefficients times y.
-	secret := make([][]Sym, len(sa.Coeffs))
+	secret := sc.secret[:0]
 	for i, row := range sa.Coeffs {
 		if len(row) != m {
 			return nil, fmt.Errorf("core: s-coefficient row %d has %d entries, want %d", i, len(row), m)
 		}
-		s := []Sym{}
+		width := 0
 		if m > 0 {
-			s = make([]Sym, len(full[0]))
+			width = len(full[0])
 		}
+		s := sc.payload(width)
 		f.AddMulSlices(s, full, row)
-		secret[i] = s
+		secret = append(secret, s)
 	}
+	sc.secret = secret
 	return secret, nil
+}
+
+// sortZPackets orders z-packets by index. Insertion sort: z counts are
+// small (M-L per round) and sort.Slice's reflection swapper allocates,
+// which would break the round loop's zero-allocation steady state.
+func sortZPackets(zs []*wire.ZPacket) {
+	for i := 1; i < len(zs); i++ {
+		for j := i; j > 0 && zs[j-1].Index > zs[j].Index; j-- {
+			zs[j-1], zs[j] = zs[j], zs[j-1]
+		}
+	}
 }
 
 // SecretBytes flattens s-packet payload rows into the session secret byte

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/wire"
+)
+
+// buildTestRound assembles one leader round (plan, payloads, wire
+// messages) over numX x-packets with every terminal receiving rcv.
+func buildTestRound(t *testing.T, seed int64, numX int, rcv func(term int) *packet.IDSet) (*LeaderRound, *wire.YAnnounce, []*wire.ZPacket, *wire.SAnnounce, [][]Sym) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recv := []*packet.IDSet{fullIDSet(numX), rcv(1), rcv(2)}
+	ctx := &EstimatorContext{
+		Terminals: 3, Leader: 0, NumX: numX,
+		Recv:    recv,
+		EveRecv: setOf(1, 3),
+	}
+	ctx.Classes = BuildClasses(3, 0, numX, recv)
+	plan := BuildPlan(ctx, Oracle{})
+	if plan.L == 0 {
+		t.Fatal("test round produced no secret; adjust the shape")
+	}
+	xSym := make([][]Sym, numX)
+	for i := range xSym {
+		xSym[i] = make([]Sym, 32)
+		for j := range xSym[i] {
+			xSym[i][j] = Sym(rng.Intn(65536))
+		}
+	}
+	lr := ComputeLeaderRound(plan, xSym)
+	h := wire.Header{From: 0, Session: 9, Round: 1}
+	ya := BuildYAnnounce(h, plan)
+	zs := BuildZPackets(h, plan, lr.Z)
+	sa := BuildSAnnounce(h, plan)
+	return lr, ya, zs, sa, xSym
+}
+
+// TestComputeTerminalSecretIntoMatchesFresh pins scratch reuse: the same
+// scratch driven through differently-shaped rounds (full reception, then
+// partial with erasure completion, then full again) must reproduce the
+// scratch-free results bit for bit.
+func TestComputeTerminalSecretIntoMatchesFresh(t *testing.T) {
+	var sc RoundScratch
+	shapes := []func(term int) *packet.IDSet{
+		func(int) *packet.IDSet { return fullIDSet(8) },
+		func(term int) *packet.IDSet {
+			if term == 1 {
+				return setOf(0, 1, 2, 3, 4, 5)
+			}
+			return setOf(2, 3, 4, 5, 6, 7)
+		},
+		func(int) *packet.IDSet { return fullIDSet(8) },
+	}
+	for round, shape := range shapes {
+		lr, ya, zs, sa, xSym := buildTestRound(t, int64(40+round), 8, shape)
+		for term := 1; term <= 2; term++ {
+			rm := make(map[packet.ID][]Sym)
+			for _, id := range shape(term).Slice() {
+				rm[id] = xSym[int(id)]
+			}
+			want, err := ComputeTerminalSecret(rm, ya, zs, sa)
+			if err != nil {
+				t.Fatalf("round %d term %d fresh: %v", round, term, err)
+			}
+			got, err := ComputeTerminalSecretInto(&sc, rm, ya, zs, sa)
+			if err != nil {
+				t.Fatalf("round %d term %d scratch: %v", round, term, err)
+			}
+			if !bytes.Equal(SecretBytes(got), SecretBytes(want)) {
+				t.Fatalf("round %d term %d: scratch secret differs from fresh", round, term)
+			}
+			if !bytes.Equal(SecretBytes(got), SecretBytes(lr.Secret)) {
+				t.Fatalf("round %d term %d: secret differs from leader", round, term)
+			}
+		}
+	}
+}
+
+// TestRoundCombinationSteadyStateAllocs is the zero-allocation gate on
+// the terminal round hot path: with a warm RoundScratch and full
+// reception (the common case — erasure completion has its own solver
+// allocations by design), the whole y-reconstruction + s-combination
+// pipeline must not allocate: no [][]Sym header churn, no per-round
+// nibble tables, no sort scratch.
+func TestRoundCombinationSteadyStateAllocs(t *testing.T) {
+	_, ya, zs, sa, xSym := buildTestRound(t, 77, 8, func(int) *packet.IDSet { return fullIDSet(8) })
+	rm := make(map[packet.ID][]Sym)
+	for i := 0; i < 8; i++ {
+		rm[packet.ID(i)] = xSym[i]
+	}
+	var sc RoundScratch
+	run := func() {
+		if _, err := ComputeTerminalSecretInto(&sc, rm, ya, zs, sa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Errorf("steady-state round combination allocates %v times per run, want 0", n)
+	}
+}

@@ -35,6 +35,11 @@ type Knowledge struct {
 	coeffs  [][]Sym // each row: combination over the source space
 	content [][]Sym // payload symbols for the corresponding row
 	width   int     // payload width in symbols, fixed by first row
+	// mat caches the observation matrix built from coeffs; invalidated on
+	// every new observation. Reconstruct runs once per secret row (the
+	// KnownSecretCount loop), so rebuilding A per call was quadratic
+	// header-and-copy churn.
+	mat *matrix.Matrix[Sym]
 }
 
 // NewKnowledge creates an empty knowledge base over dim source packets.
@@ -72,11 +77,16 @@ func (k *Knowledge) AddCombo(coeff, payload []Sym) {
 	}
 	k.coeffs = append(k.coeffs, append([]Sym(nil), coeff...))
 	k.content = append(k.content, append([]Sym(nil), payload...))
+	k.mat = nil
 }
 
-// coeffMatrix returns Eve's observation matrix A.
+// coeffMatrix returns Eve's observation matrix A (cached between
+// observations; callers must not mutate it).
 func (k *Knowledge) coeffMatrix() *matrix.Matrix[Sym] {
-	return matrix.FromRows(k.f, k.coeffs)
+	if k.mat == nil {
+		k.mat = matrix.FromRows(k.f, k.coeffs)
+	}
+	return k.mat
 }
 
 // UnknownSecretDims returns rank([A; S]) - rank(A): the number of secret
@@ -124,8 +134,9 @@ func (k *Knowledge) Reconstruct(secretCoeff []Sym) ([]Sym, bool) {
 }
 
 // anySolution finds some x with x*A = v when solutions exist but are not
-// unique (A has dependent rows). It eliminates on A^T augmented with v and
-// back-substitutes, leaving free variables at zero.
+// unique (A has dependent rows). It runs the panel Gauss-Jordan engine on
+// A^T augmented with v and reads the particular solution with free
+// variables at zero straight off the pivot rows.
 func (k *Knowledge) anySolution(v []Sym) []Sym {
 	f := k.f
 	at := k.coeffMatrix().Transpose() // dim x rows
@@ -135,54 +146,16 @@ func (k *Knowledge) anySolution(v []Sym) []Sym {
 		copy(aug.Row(i)[:m], at.Row(i))
 		aug.Set(i, m, v[i])
 	}
-	// Forward elimination with column pivots over the first m columns,
-	// one batched multi-row update per pivot.
-	r := 0
-	type piv struct{ row, col int }
-	var pivots []piv
-	dsts := make([][]Sym, 0, n)
-	cs := make([]Sym, 0, n)
-	for c := 0; c < m && r < n; c++ {
-		p := -1
-		for i := r; i < n; i++ {
-			if aug.At(i, c) != 0 {
-				p = i
-				break
-			}
-		}
-		if p < 0 {
-			continue
-		}
-		// swap rows r and p
-		if p != r {
-			rr, pp := aug.Row(r), aug.Row(p)
-			for j := range rr {
-				rr[j], pp[j] = pp[j], rr[j]
-			}
-		}
-		f.MulSlice(aug.Row(r), f.Inv(aug.At(r, c)))
-		dsts, cs = dsts[:0], cs[:0]
-		for i := 0; i < n; i++ {
-			if i != r {
-				if x := aug.At(i, c); x != 0 {
-					dsts = append(dsts, aug.Row(i))
-					cs = append(cs, x)
-				}
-			}
-		}
-		f.EliminateRows(dsts, aug.Row(r), cs)
-		pivots = append(pivots, piv{row: r, col: c})
-		r++
-	}
+	pivots := matrix.GaussJordan(aug, m)
 	// Inconsistent?
-	for i := r; i < n; i++ {
+	for i := len(pivots); i < n; i++ {
 		if aug.At(i, m) != 0 {
 			return nil
 		}
 	}
 	x := make([]Sym, m)
 	for _, p := range pivots {
-		x[p.col] = aug.At(p.row, m)
+		x[p.Col] = aug.At(p.Row, m)
 	}
 	return x
 }

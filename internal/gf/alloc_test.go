@@ -1,0 +1,67 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Zero-allocation gates for the kernel hot paths. Every matrix
+// elimination step and packet combination bottoms out here, so a single
+// heap allocation per call (as the old function-pointer dispatch caused:
+// escape analysis cannot see through an indirect call, so the stack
+// nibble caches escaped) multiplies into per-round garbage across the
+// whole system. The arch shims are direct calls precisely so these gates
+// can hold; they must stay at zero on every build, purego included.
+
+func testKernelAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm any lazily built field tables
+	if n := testing.AllocsPerRun(100, fn); n != 0 {
+		t.Errorf("%s allocates %v times per call, want 0", name, n)
+	}
+}
+
+func TestKernelPathsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f8, f16 := GF256(), GF65536()
+
+	const n = 1024
+	const rows = 5
+	d8 := make([]uint8, n)
+	d16 := make([]uint16, n)
+	s8 := make([][]uint8, rows)
+	s16 := make([][]uint16, rows)
+	c8 := make([]uint8, rows)
+	c16 := make([]uint16, rows)
+	e8 := make([][]uint8, rows)
+	e16 := make([][]uint16, rows)
+	for j := 0; j < rows; j++ {
+		s8[j] = make([]uint8, n)
+		s16[j] = make([]uint16, n)
+		e8[j] = make([]uint8, n)
+		e16[j] = make([]uint16, n)
+		for i := 0; i < n; i++ {
+			s8[j][i] = uint8(rng.Intn(256))
+			s16[j][i] = uint16(rng.Intn(65536))
+		}
+		c8[j] = uint8(2 + j)
+		c16[j] = uint16(40000 + j)
+	}
+
+	testKernelAllocs(t, "gf8 AddMulSlice", func() { f8.AddMulSlice(d8, s8[0], 7) })
+	testKernelAllocs(t, "gf16 AddMulSlice", func() { f16.AddMulSlice(d16, s16[0], 7) })
+	testKernelAllocs(t, "gf8 MulSlice", func() { f8.MulSlice(d8, 7) })
+	testKernelAllocs(t, "gf16 MulSlice", func() { f16.MulSlice(d16, 7) })
+	testKernelAllocs(t, "gf8 AddMulSlices", func() { f8.AddMulSlices(d8, s8, c8) })
+	testKernelAllocs(t, "gf16 AddMulSlices", func() { f16.AddMulSlices(d16, s16, c16) })
+	testKernelAllocs(t, "gf8 AddMulSlicesPerTerm", func() { f8.AddMulSlicesPerTerm(d8, s8, c8) })
+	testKernelAllocs(t, "gf16 AddMulSlicesPerTerm", func() { f16.AddMulSlicesPerTerm(d16, s16, c16) })
+	testKernelAllocs(t, "gf8 EliminateRows", func() { f8.EliminateRows(e8, s8[0], c8) })
+	testKernelAllocs(t, "gf16 EliminateRows", func() { f16.EliminateRows(e16, s16[0], c16) })
+
+	// Short slices stay on the generic layers; they must be clean too.
+	testKernelAllocs(t, "gf16 AddMulSlice short", func() { f16.AddMulSlice(d16[:40], s16[0][:40], 7) })
+	testKernelAllocs(t, "gf16 AddMulSlices short", func() {
+		f16.AddMulSlices(d16[:40], [][]uint16{s16[0][:40], s16[1][:40]}, c16[:2])
+	})
+}

@@ -17,12 +17,16 @@ import "unsafe"
 //     tables sized so one table is one SIMD shuffle register.
 //   - an arch-dispatch layer (bulk_amd64.go / bulk_arm64.go /
 //     bulk_generic.go, `purego` escape hatch): pickKernels, run once at
-//     field construction, selects the widest block kernel the CPU
-//     supports; nil function pointers mean "stay portable".
+//     field construction, decides whether the arch's block kernels run;
+//     the arch* shim functions are called directly (never through
+//     function pointers) so their //go:noescape declarations keep every
+//     table and scratch argument on the stack.
 //
 // The batched entry points (AddMulSlices, EliminateRows) thread one
 // nibCache through a run of rows so repeated coefficients build their
-// tables once instead of per call.
+// tables once — and AddMulSlices additionally tiles its terms into fused
+// multi-source passes (bulk_amd64.s strip kernels) so the accumulator is
+// loaded and stored once per 2-4 terms instead of once per term.
 
 const (
 	wordBytes = 8
@@ -40,22 +44,31 @@ const (
 	// regime).
 	nibMin16 = 96
 	nibMin8  = 96
-	// kernelBlockBytes is the unit the arch block kernels process; the
-	// routing layer hands them whole blocks and finishes tails with the
-	// portable nibble loops over the same tables.
+	// kernelBlockBytes is the unit the single-source arch block kernels
+	// process; the routing layer hands them whole blocks and finishes
+	// tails with the portable nibble loops over the same tables.
 	kernelBlockBytes = 32
+	// fusedStripBytes is the unit the fused multi-source kernels process:
+	// four blocks, kept in four accumulator registers across all terms of
+	// a pass, so the GF(2^16) kernels' per-term table broadcasts amortize
+	// over 128 accumulator bytes.
+	fusedStripBytes = 128
+	// fusedWidth is the widest fused pass (terms per accumulator walk).
+	fusedWidth = 4
+	// fusedMin8 / fusedMin16 are the slice lengths (in symbols) above
+	// which AddMulSlices tiles into fused passes: at least one full strip,
+	// and for GF(2^16) the same table-build crossover as the single-source
+	// kernels (one strip plus a portable tail already wins there).
+	fusedMin8  = fusedStripBytes
+	fusedMin16 = nibMin16
 )
 
-// kernels is the arch-dispatch surface: the block-kernel function pointers
-// an architecture backend provides. All pointers may be nil (no
-// acceleration for that shape); a non-nil kernel processes exactly
-// blocks*kernelBlockBytes bytes using prebuilt nibble tables.
+// kernels is the arch-dispatch decision made once per field: the backend
+// name (for diagnostics and benchmark labels) and whether the arch* block
+// kernel shims may be called.
 type kernels struct {
-	name     string
-	addMul8  func(dst, src *uint8, blocks int, t *nib8)
-	mul8     func(dst, src *uint8, blocks int, t *nib8)
-	addMul16 func(dst, src *uint16, blocks int, t *nib16)
-	mul16    func(dst, src *uint16, blocks int, t *nib16)
+	name  string
+	accel bool
 }
 
 // nibCache carries built nibble tables across the rows of one batched
@@ -154,7 +167,7 @@ func (f *Field[E]) addMul(dst, src []E, c E, nc *nibCache) {
 	}
 	n := len(dst)
 	if f.size > 256 {
-		if k := f.kern.addMul16; k != nil && n >= nibMin16 {
+		if f.kern.accel && n >= nibMin16 {
 			var local nibCache
 			if nc == nil {
 				nc = &local
@@ -166,11 +179,11 @@ func (f *Field[E]) addMul(dst, src []E, c E, nc *nibCache) {
 			d, s := as16(dst), as16(src)
 			blocks := n / (kernelBlockBytes / 2)
 			head := blocks * (kernelBlockBytes / 2)
-			k(&d[0], &s[0], blocks, &nc.t16)
+			archAddMul16(&d[0], &s[0], blocks, &nc.t16)
 			addMulNib16(d[head:], s[head:], &nc.t16)
 			return
 		}
-	} else if k := f.kern.addMul8; k != nil && n >= nibMin8 {
+	} else if f.kern.accel && n >= nibMin8 {
 		var local nibCache
 		if nc == nil {
 			nc = &local
@@ -182,7 +195,7 @@ func (f *Field[E]) addMul(dst, src []E, c E, nc *nibCache) {
 		d, s := as8(dst), as8(src)
 		blocks := n / kernelBlockBytes
 		head := blocks * kernelBlockBytes
-		k(&d[0], &s[0], blocks, &nc.t8)
+		archAddMul8(&d[0], &s[0], blocks, &nc.t8)
 		addMulNib8(d[head:], s[head:], &nc.t8)
 		return
 	}
@@ -245,23 +258,23 @@ func (f *Field[E]) MulSlice(dst []E, c E) {
 	}
 	n := len(dst)
 	if f.size > 256 {
-		if k := f.kern.mul16; k != nil && n >= nibMin16 {
+		if f.kern.accel && n >= nibMin16 {
 			var t nib16
 			f.buildNib16(&t, c)
 			d := as16(dst)
 			blocks := n / (kernelBlockBytes / 2)
 			head := blocks * (kernelBlockBytes / 2)
-			k(&d[0], &d[0], blocks, &t)
+			archMul16(&d[0], &d[0], blocks, &t)
 			mulSliceNib16(d[head:], &t)
 			return
 		}
-	} else if k := f.kern.mul8; k != nil && n >= nibMin8 {
+	} else if f.kern.accel && n >= nibMin8 {
 		var t nib8
 		f.buildNib8(&t, c)
 		d := as8(dst)
 		blocks := n / kernelBlockBytes
 		head := blocks * kernelBlockBytes
-		k(&d[0], &d[0], blocks, &t)
+		archMul8(&d[0], &d[0], blocks, &t)
 		mulSliceNib8(d[head:], &t)
 		return
 	}
@@ -310,29 +323,229 @@ func (f *Field[E]) MulSliceGeneric(dst []E, c E) {
 
 // AddMulSlices computes dst[i] ^= Σ_j cs[j] * srcs[j][i]: one accumulator
 // updated by many (coefficient, row) terms — the shape of every y/z/s
-// packet combination and mat-vec accumulation in the protocol. Zero
-// coefficients are skipped, unit coefficients degenerate to XOR, and the
-// nibble-table cache is shared across terms so repeated coefficients build
-// their tables once. Every srcs row must have dst's length.
+// packet combination, mat-vec accumulation and panel-elimination update in
+// the protocol. Zero coefficients are skipped and unit coefficients
+// degenerate to XOR (or fuse through an identity table when a fused pass
+// is running anyway). On accelerated fields with long slices the terms
+// are tiled into fused multi-source passes — groups of 4, then 2, then 1
+// — so the accumulator is loaded and stored once per group instead of
+// once per term; repeated coefficients share their tables both within a
+// pass and across passes via the nibble cache. Every srcs row must have
+// dst's length, and no row may partially overlap dst.
 func (f *Field[E]) AddMulSlices(dst []E, srcs [][]E, cs []E) {
 	if len(srcs) != len(cs) {
 		panic("gf: AddMulSlices coefficient count mismatch")
 	}
+	for _, src := range srcs {
+		if len(src) != len(dst) {
+			panic("gf: AddMulSlices row length mismatch")
+		}
+	}
+	n := len(dst)
+	if n == 0 || len(cs) == 0 {
+		return
+	}
+	if f.kern.accel {
+		if f.size > 256 {
+			if n >= fusedMin16 {
+				f.fusedAddMulSlices16(dst, srcs, cs)
+				return
+			}
+		} else if n >= fusedMin8 {
+			f.fusedAddMulSlices8(dst, srcs, cs)
+			return
+		}
+	}
+	var nc nibCache
+	for j, src := range srcs {
+		f.addMul(dst, src, cs[j], &nc)
+	}
+}
+
+// AddMulSlicesPerTerm is AddMulSlices pinned to the per-term dispatch
+// path: one full accumulator walk per (coefficient, row) term, tables
+// shared across terms via the nibble cache but never fused. It is the
+// reference arm the fused routing is benchmarked against
+// (speedup_vs_per_term in BENCH_gf.json) and a differential anchor for
+// the fused tests.
+func (f *Field[E]) AddMulSlicesPerTerm(dst []E, srcs [][]E, cs []E) {
+	if len(srcs) != len(cs) {
+		panic("gf: AddMulSlicesPerTerm coefficient count mismatch")
+	}
 	var nc nibCache
 	for j, src := range srcs {
 		if len(src) != len(dst) {
-			panic("gf: AddMulSlices row length mismatch")
+			panic("gf: AddMulSlicesPerTerm row length mismatch")
 		}
 		f.addMul(dst, src, cs[j], &nc)
 	}
 }
 
+// fusedAddMulSlices16 tiles a GF(2^16) combination into fused strip
+// passes. Terms with zero coefficients are dropped while gathering;
+// everything else — unit coefficients included — joins a pass of up to
+// fusedWidth terms. Each pass walks the accumulator once: whole strips in
+// the arch kernel, the tail in one portable fused nibble loop.
+func (f *Field[E]) fusedAddMulSlices16(dst []E, srcs [][]E, cs []E) {
+	d := as16(dst)
+	n := len(d)
+	strips := n * 2 / fusedStripBytes
+	head := strips * (fusedStripBytes / 2)
+	var (
+		ts [fusedWidth]nib16
+		tc [fusedWidth]uint16
+		sp [fusedWidth]*uint16
+		tl [fusedWidth][]uint16
+		nc nibCache
+	)
+	j := 0
+	for j < len(cs) {
+		k := 0
+		for j < len(cs) && k < fusedWidth {
+			c := uint16(cs[j])
+			src := srcs[j]
+			j++
+			if c == 0 {
+				continue
+			}
+			s := as16(src)
+			built := false
+			for p := 0; p < k; p++ {
+				if tc[p] == c {
+					ts[k] = ts[p]
+					built = true
+					break
+				}
+			}
+			if !built && nc.valid && nc.c == c {
+				ts[k] = nc.t16
+				built = true
+			}
+			if !built {
+				f.buildNib16(&ts[k], E(c))
+				nc.t16, nc.c, nc.valid = ts[k], c, true
+			}
+			tc[k] = c
+			sp[k] = &s[0]
+			tl[k] = s[head:]
+			k++
+		}
+		switch k {
+		case 0:
+			// Only zero coefficients gathered; nothing to apply.
+		case 1:
+			if strips > 0 {
+				archAddMul16(&d[0], sp[0], strips*fusedStripBytes/kernelBlockBytes, &ts[0])
+			}
+			addMulNib16(d[head:], tl[0], &ts[0])
+		case 2:
+			if strips > 0 {
+				archAddMul2x16(&d[0], &sp[0], strips, &ts[0])
+			}
+			addMulNib16x2(d[head:], tl[0], tl[1], &ts)
+		case 3:
+			// A 2-term fused pass plus one single-source pass: cheaper than
+			// shuffling a dead zero-coefficient fourth term through the
+			// 4-term kernel.
+			if strips > 0 {
+				archAddMul2x16(&d[0], &sp[0], strips, &ts[0])
+				archAddMul16(&d[0], sp[2], strips*fusedStripBytes/kernelBlockBytes, &ts[2])
+			}
+			addMulNib16x2(d[head:], tl[0], tl[1], &ts)
+			addMulNib16(d[head:], tl[2], &ts[2])
+		case 4:
+			if strips > 0 {
+				archAddMul4x16(&d[0], &sp[0], strips, &ts[0])
+			}
+			addMulNib16x4(d[head:], tl[0], tl[1], tl[2], tl[3], &ts)
+		}
+	}
+}
+
+// fusedAddMulSlices8 is fusedAddMulSlices16 for GF(2^8).
+func (f *Field[E]) fusedAddMulSlices8(dst []E, srcs [][]E, cs []E) {
+	d := as8(dst)
+	n := len(d)
+	strips := n / fusedStripBytes
+	head := strips * fusedStripBytes
+	var (
+		ts [fusedWidth]nib8
+		tc [fusedWidth]uint16
+		sp [fusedWidth]*uint8
+		tl [fusedWidth][]uint8
+		nc nibCache
+	)
+	j := 0
+	for j < len(cs) {
+		k := 0
+		for j < len(cs) && k < fusedWidth {
+			c := uint16(cs[j])
+			src := srcs[j]
+			j++
+			if c == 0 {
+				continue
+			}
+			s := as8(src)
+			built := false
+			for p := 0; p < k; p++ {
+				if tc[p] == c {
+					ts[k] = ts[p]
+					built = true
+					break
+				}
+			}
+			if !built && nc.valid && nc.c == c {
+				ts[k] = nc.t8
+				built = true
+			}
+			if !built {
+				f.buildNib8(&ts[k], E(c))
+				nc.t8, nc.c, nc.valid = ts[k], c, true
+			}
+			tc[k] = c
+			sp[k] = &s[0]
+			tl[k] = s[head:]
+			k++
+		}
+		switch k {
+		case 0:
+		case 1:
+			if strips > 0 {
+				archAddMul8(&d[0], sp[0], strips*fusedStripBytes/kernelBlockBytes, &ts[0])
+			}
+			addMulNib8(d[head:], tl[0], &ts[0])
+		case 2:
+			if strips > 0 {
+				archAddMul2x8(&d[0], &sp[0], strips, &ts[0])
+			}
+			addMulNib8x2(d[head:], tl[0], tl[1], &ts)
+		case 3:
+			if strips > 0 {
+				archAddMul2x8(&d[0], &sp[0], strips, &ts[0])
+				archAddMul8(&d[0], sp[2], strips*fusedStripBytes/kernelBlockBytes, &ts[2])
+			}
+			addMulNib8x2(d[head:], tl[0], tl[1], &ts)
+			addMulNib8(d[head:], tl[2], &ts[2])
+		case 4:
+			if strips > 0 {
+				archAddMul4x8(&d[0], &sp[0], strips, &ts[0])
+			}
+			addMulNib8x4(d[head:], tl[0], tl[1], tl[2], tl[3], &ts)
+		}
+	}
+}
+
 // EliminateRows computes dsts[j][i] ^= cs[j] * src[i] for every row j: the
 // multi-row elimination update (subtract multiples of one pivot row from
-// many target rows) that Gaussian elimination performs per column. The
-// pivot row stays hot across all updates and the nibble-table cache is
+// many target rows) that Gaussian elimination performs within a panel.
+// The pivot row stays hot across all updates and the nibble-table cache is
 // shared, so repeated coefficients build their tables once. Every dsts row
 // must have src's length.
+//
+// Accumulators are distinct here, so the fused multi-source kernels do
+// not apply; the bulk of elimination work instead reaches them through
+// the matrix package's panel elimination, which presents each target row
+// as one multi-term AddMulSlices call over several pivot rows.
 func (f *Field[E]) EliminateRows(dsts [][]E, src []E, cs []E) {
 	if len(dsts) != len(cs) {
 		panic("gf: EliminateRows coefficient count mismatch")

@@ -2,25 +2,55 @@
 
 package gf
 
-// amd64 backend: AVX2 block kernels over the nibble-split tables
-// (bulk_amd64.s). Each 32-byte block costs two shuffles for GF(2^8) and
-// eight for GF(2^16), against one or two table loads per symbol on the
-// generic layer.
+// amd64 backend: AVX2 block and strip kernels over the nibble-split
+// tables (bulk_amd64.s). Each 32-byte block costs two shuffles for
+// GF(2^8) and eight for GF(2^16), against one or two table loads per
+// symbol on the generic layer; the fused multi-source kernels keep a
+// 128-byte accumulator strip in registers across 2-4 terms.
+//
+// The arch* functions below are the dispatch shims the portable routing
+// layer (bulk.go) calls directly. Direct calls matter: the kernels are
+// declared //go:noescape, and escape analysis only propagates that
+// through a static call chain — dispatching through function pointers
+// (as this layer once did) makes every table and scratch argument
+// escape, heap-allocating a nibble cache per call on the hot paths the
+// zero-allocation tests now pin.
 
 // pickKernels selects the widest kernel this CPU can run. Feature
 // detection is done here once, at field construction, rather than per
-// call.
+// call; the arch shims are only reached when accel is true.
 func pickKernels() kernels {
 	if hasAVX2() {
-		return kernels{
-			name:     "avx2",
-			addMul8:  gf8AddMulAVX2,
-			mul8:     gf8MulAVX2,
-			addMul16: gf16AddMulAVX2,
-			mul16:    gf16MulAVX2,
-		}
+		return kernels{name: "avx2", accel: true}
 	}
 	return kernels{name: "generic"}
+}
+
+// Single-source shims: blocks of kernelBlockBytes.
+
+func archAddMul8(dst, src *uint8, blocks int, t *nib8)    { gf8AddMulAVX2(dst, src, blocks, t) }
+func archMul8(dst, src *uint8, blocks int, t *nib8)       { gf8MulAVX2(dst, src, blocks, t) }
+func archAddMul16(dst, src *uint16, blocks int, t *nib16) { gf16AddMulAVX2(dst, src, blocks, t) }
+func archMul16(dst, src *uint16, blocks int, t *nib16)    { gf16MulAVX2(dst, src, blocks, t) }
+
+// Fused multi-source shims: strips of fusedStripBytes; srcs points at an
+// array of 2 or 4 source pointers, ts at as many contiguous nibble
+// tables.
+
+func archAddMul2x8(dst *uint8, srcs **uint8, strips int, ts *nib8) {
+	gf8AddMul2AVX2(dst, srcs, strips, ts)
+}
+
+func archAddMul4x8(dst *uint8, srcs **uint8, strips int, ts *nib8) {
+	gf8AddMul4AVX2(dst, srcs, strips, ts)
+}
+
+func archAddMul2x16(dst *uint16, srcs **uint16, strips int, ts *nib16) {
+	gf16AddMul2AVX2(dst, srcs, strips, ts)
+}
+
+func archAddMul4x16(dst *uint16, srcs **uint16, strips int, ts *nib16) {
+	gf16AddMul4AVX2(dst, srcs, strips, ts)
 }
 
 // hasAVX2 reports whether the CPU and OS support the AVX2 kernels:
@@ -71,3 +101,19 @@ func gf16AddMulAVX2(dst, src *uint16, blocks int, t *nib16)
 
 //go:noescape
 func gf16MulAVX2(dst, src *uint16, blocks int, t *nib16)
+
+// The fused strip kernels. Each processes exactly strips*128 bytes of
+// the accumulator, reading the same span of every source; srcs and ts
+// are arrays of 2 or 4 entries (stack scratch in the routing layer).
+//
+//go:noescape
+func gf8AddMul2AVX2(dst *uint8, srcs **uint8, strips int, ts *nib8)
+
+//go:noescape
+func gf8AddMul4AVX2(dst *uint8, srcs **uint8, strips int, ts *nib8)
+
+//go:noescape
+func gf16AddMul2AVX2(dst *uint16, srcs **uint16, strips int, ts *nib16)
+
+//go:noescape
+func gf16AddMul4AVX2(dst *uint16, srcs **uint16, strips int, ts *nib16)

@@ -266,6 +266,148 @@ func testBatched[E Elem](t *testing.T, f *Field[E], n int) {
 	}
 }
 
+// fusedLengths crosses every fused-routing boundary: below the fused
+// minimums, around the 128-byte strip size, strip+tail splits, and
+// multi-strip lengths.
+var fusedLengths = []int{0, 1, 31, 63, 64, 65, 95, 96, 97, 127, 128, 129, 191, 192, 255, 256, 257, 383, 384, 1000, 1024, 4096}
+
+// TestFusedMatchesGeneric pins the fused AddMulSlices tiling — arch strip
+// kernels, portable fused tails, term grouping (4/2/1), zero and unit
+// coefficients, repeated-coefficient table sharing — against a loop of
+// generic single-row calls, across source counts and offsets, for both
+// fields. It also pins AddMulSlicesPerTerm (the benchmark reference arm)
+// to the same result.
+func TestFusedMatchesGeneric(t *testing.T) {
+	t.Run("gf8", func(t *testing.T) { testFused(t, GF256()) })
+	t.Run("gf16", func(t *testing.T) { testFused(t, GF65536()) })
+}
+
+func testFused[E Elem](t *testing.T, f *Field[E]) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range fusedLengths {
+		for rows := 0; rows <= 9; rows++ {
+			for _, off := range []int{0, 1, 3} {
+				dstBase := make([]E, n+off)
+				dst := dstBase[off:]
+				for i := range dst {
+					dst[i] = E(rng.Intn(f.Size()))
+				}
+				srcs := make([][]E, rows)
+				cs := make([]E, rows)
+				for j := range srcs {
+					srcs[j] = make([]E, n)
+					for i := range srcs[j] {
+						srcs[j][i] = E(rng.Intn(f.Size()))
+					}
+					// A mix of repeats, zeros and ones so passes exercise
+					// table sharing, term skipping and identity tables.
+					switch j % 4 {
+					case 0:
+						cs[j] = 7
+					case 1:
+						cs[j] = E(rng.Intn(f.Size()))
+					case 2:
+						cs[j] = 0
+					default:
+						cs[j] = 1
+					}
+				}
+				want := append([]E(nil), dst...)
+				for j := range srcs {
+					f.AddMulSliceGeneric(want, srcs[j], cs[j])
+				}
+				got := append([]E(nil), dst...)
+				f.AddMulSlices(got, srcs, cs)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s AddMulSlices(n=%d rows=%d off=%d)[%d] = %d, want %d",
+							f.Name(), n, rows, off, i, got[i], want[i])
+					}
+				}
+				per := append([]E(nil), dst...)
+				f.AddMulSlicesPerTerm(per, srcs, cs)
+				for i := range want {
+					if per[i] != want[i] {
+						t.Fatalf("%s AddMulSlicesPerTerm(n=%d rows=%d off=%d)[%d] = %d, want %d",
+							f.Name(), n, rows, off, i, per[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedPortableLoops pins the portable fused nibble loops (the strip
+// kernels' tail path and differential reference for the fused ABI)
+// against scalar arithmetic directly.
+func TestFusedPortableLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f8 := GF256()
+	f16 := GF65536()
+	for _, n := range []int{0, 1, 5, 17, 40, 127} {
+		var t8 [fusedWidth]nib8
+		var t16 [fusedWidth]nib16
+		c8 := make([]uint8, fusedWidth)
+		c16 := make([]uint16, fusedWidth)
+		s8 := make([][]uint8, fusedWidth)
+		s16 := make([][]uint16, fusedWidth)
+		for j := 0; j < fusedWidth; j++ {
+			c8[j] = uint8(1 + rng.Intn(255))
+			c16[j] = uint16(1 + rng.Intn(65535))
+			f8.buildNib8(&t8[j], c8[j])
+			f16.buildNib16(&t16[j], c16[j])
+			s8[j] = make([]uint8, n)
+			s16[j] = make([]uint16, n)
+			for i := 0; i < n; i++ {
+				s8[j][i] = uint8(rng.Intn(256))
+				s16[j][i] = uint16(rng.Intn(65536))
+			}
+		}
+		d8 := make([]uint8, n)
+		d16 := make([]uint16, n)
+		for i := 0; i < n; i++ {
+			d8[i] = uint8(rng.Intn(256))
+			d16[i] = uint16(rng.Intn(65536))
+		}
+		w8 := append([]uint8(nil), d8...)
+		w16 := append([]uint16(nil), d16...)
+		for j := 0; j < fusedWidth; j++ {
+			for i := 0; i < n; i++ {
+				w8[i] ^= f8.Mul(c8[j], s8[j][i])
+				w16[i] ^= f16.Mul(c16[j], s16[j][i])
+			}
+		}
+		g8 := append([]uint8(nil), d8...)
+		addMulNib8x4(g8, s8[0], s8[1], s8[2], s8[3], &t8)
+		g16 := append([]uint16(nil), d16...)
+		addMulNib16x4(g16, s16[0], s16[1], s16[2], s16[3], &t16)
+		for i := 0; i < n; i++ {
+			if g8[i] != w8[i] {
+				t.Fatalf("addMulNib8x4(n=%d)[%d] = %d, want %d", n, i, g8[i], w8[i])
+			}
+			if g16[i] != w16[i] {
+				t.Fatalf("addMulNib16x4(n=%d)[%d] = %d, want %d", n, i, g16[i], w16[i])
+			}
+		}
+		g8 = append(g8[:0], d8...)
+		addMulNib8x2(g8, s8[0], s8[1], &t8)
+		addMulNib8x2(g8[:0:0], nil, nil, &t8) // degenerate empty call
+		g16 = append(g16[:0], d16...)
+		addMulNib16x2(g16, s16[0], s16[1], &t16)
+		for i := 0; i < n; i++ {
+			want8 := d8[i] ^ f8.Mul(c8[0], s8[0][i]) ^ f8.Mul(c8[1], s8[1][i])
+			want16 := d16[i] ^ f16.Mul(c16[0], s16[0][i]) ^ f16.Mul(c16[1], s16[1][i])
+			if g8[i] != want8 {
+				t.Fatalf("addMulNib8x2(n=%d)[%d] = %d, want %d", n, i, g8[i], want8)
+			}
+			if g16[i] != want16 {
+				t.Fatalf("addMulNib16x2(n=%d)[%d] = %d, want %d", n, i, g16[i], want16)
+			}
+		}
+	}
+}
+
 func benchAddMul[E Elem](b *testing.B, f *Field[E], n int, c E, generic bool) {
 	dst := make([]E, n)
 	src := make([]E, n)
@@ -306,4 +448,60 @@ func BenchmarkAddMulSlice(b *testing.B) {
 	// The coefficient-1 (pure XOR) arms, common in practice.
 	b.Run("gf8/n1024/k=xor", func(b *testing.B) { benchAddMul(b, GF256(), 1024, 1, false) })
 	b.Run("gf16/n1024/k=xor", func(b *testing.B) { benchAddMul(b, GF65536(), 1024, 1, false) })
+}
+
+func benchAddMulSlices[E Elem](b *testing.B, f *Field[E], n, rows int, perTerm bool) {
+	rng := rand.New(rand.NewSource(11))
+	dst := make([]E, n)
+	srcs := make([][]E, rows)
+	cs := make([]E, rows)
+	for j := range srcs {
+		srcs[j] = make([]E, n)
+		for i := range srcs[j] {
+			srcs[j][i] = E(rng.Intn(f.Size()))
+		}
+		cs[j] = E(2 + rng.Intn(f.Size()-2))
+	}
+	elemBytes := 1
+	if f.Size() > 256 {
+		elemBytes = 2
+	}
+	b.SetBytes(int64(n * elemBytes * rows))
+	b.ResetTimer()
+	if perTerm {
+		for i := 0; i < b.N; i++ {
+			f.AddMulSlicesPerTerm(dst, srcs, cs)
+		}
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		f.AddMulSlices(dst, srcs, cs)
+	}
+}
+
+// BenchmarkAddMulSlices is the fused-kernel benchmark matrix (field x
+// slice length x source count x routing arm) the CI bench gate and
+// thinair-bench's BENCH_gf.json emitter run. The "r=fused" arm measures
+// the fused tiling (multi-source strip kernels where available);
+// "r=perterm" pins the per-term dispatch path, so the fusion speedup is
+// visible in one run. Throughput is reported over all source bytes
+// processed (n * elemBytes * sources per op).
+func BenchmarkAddMulSlices(b *testing.B) {
+	for _, n := range []int{256, 16384} {
+		for _, rows := range []int{1, 2, 4, 8} {
+			n, rows := n, rows
+			b.Run(fmt.Sprintf("gf8/n%d/s%d/r=fused", n, rows), func(b *testing.B) {
+				benchAddMulSlices(b, GF256(), n, rows, false)
+			})
+			b.Run(fmt.Sprintf("gf8/n%d/s%d/r=perterm", n, rows), func(b *testing.B) {
+				benchAddMulSlices(b, GF256(), n, rows, true)
+			})
+			b.Run(fmt.Sprintf("gf16/n%d/s%d/r=fused", n, rows), func(b *testing.B) {
+				benchAddMulSlices(b, GF65536(), n, rows, false)
+			})
+			b.Run(fmt.Sprintf("gf16/n%d/s%d/r=perterm", n, rows), func(b *testing.B) {
+				benchAddMulSlices(b, GF65536(), n, rows, true)
+			})
+		}
+	}
 }

@@ -5,11 +5,111 @@ import (
 	"testing"
 )
 
-// FuzzAddMulSlice differential-tests the dispatched bulk kernels against
-// the portable generic layer over both fields, arbitrary payloads,
-// coefficients, and slice alignments. The fuzzer owns the search for the
-// length/alignment/coefficient combination the hand-written kernelLengths
-// table missed; any divergence between layers is a crash.
+// FuzzAddMulSlices differential-tests the fused AddMulSlices tiling —
+// term grouping, strip kernels, portable tails, repeated/zero/one
+// coefficient handling, table sharing — against a per-row loop of the
+// generic layer, over both fields, arbitrary source counts (1..12),
+// payloads, coefficients and alignments. Coefficients are derived from
+// the payload bytes with forced collisions (every third source repeats
+// the first coefficient, every fourth is 0 or 1), so the cache-sharing
+// and skip paths are continuously exercised.
+//
+// CI runs this as corpus replay in the regular test job (including under
+// the purego tag) and as a short -fuzz smoke alongside FuzzAddMulSlice.
+func FuzzAddMulSlices(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, byte(3), byte(0), byte(0))
+	f.Add(bytes.Repeat([]byte{0xa5, 0x3c, 0x11}, 200), byte(5), byte(1), byte(3))
+	f.Add(bytes.Repeat([]byte{0xff}, 1500), byte(9), byte(7), byte(2))
+	f.Add(bytes.Repeat([]byte{0x01, 0x00}, 257), byte(12), byte(4), byte(6))
+	f.Fuzz(func(t *testing.T, data []byte, nsrc, dstOff, srcOff byte) {
+		rows := 1 + int(nsrc%12)
+		do, so := int(dstOff%8), int(srcOff%8)
+		if len(data) < rows+2 {
+			return
+		}
+		// Split data into one dst chunk and `rows` source chunks of equal
+		// length; remaining bytes seed the coefficients.
+		chunk := len(data) / (rows + 2)
+		coefBytes := data[(rows+1)*chunk:]
+
+		check := func(t *testing.T, f16 bool) {
+			t.Helper()
+			if f16 {
+				n := chunk / 2
+				f := GF65536()
+				dst := append(make([]uint16, do), Symbols16(data[:n*2])...)[do:]
+				srcs := make([][]uint16, rows)
+				cs := make([]uint16, rows)
+				for j := range srcs {
+					srcs[j] = append(make([]uint16, so), Symbols16(data[(j+1)*chunk:(j+1)*chunk+n*2])...)[so:]
+					cs[j] = fuzzCoeff16(coefBytes, j)
+				}
+				want := append([]uint16(nil), dst...)
+				for j := range srcs {
+					f.AddMulSliceGeneric(want, srcs[j], cs[j])
+				}
+				got := append([]uint16(nil), dst...)
+				f.AddMulSlices(got, srcs, cs)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("gf16 kernel %q AddMulSlices diverges from generic (n=%d rows=%d offs=%d/%d i=%d): got %d want %d",
+							f.Kernel(), n, rows, do, so, i, got[i], want[i])
+					}
+				}
+				return
+			}
+			n := chunk
+			f := GF256()
+			dst := append(make([]uint8, do), data[:n]...)[do:]
+			srcs := make([][]uint8, rows)
+			cs := make([]uint8, rows)
+			for j := range srcs {
+				srcs[j] = append(make([]uint8, so), data[(j+1)*chunk:(j+2)*chunk]...)[so:]
+				cs[j] = uint8(fuzzCoeff16(coefBytes, j))
+			}
+			want := append([]uint8(nil), dst...)
+			for j := range srcs {
+				f.AddMulSliceGeneric(want, srcs[j], cs[j])
+			}
+			got := append([]uint8(nil), dst...)
+			f.AddMulSlices(got, srcs, cs)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("gf8 kernel %q AddMulSlices diverges from generic (n=%d rows=%d offs=%d/%d)",
+					f.Kernel(), n, rows, do, so)
+			}
+		}
+		check(t, false)
+		check(t, true)
+	})
+}
+
+// fuzzCoeff16 derives source j's coefficient from the fuzz input with
+// forced repeats and degenerate values.
+func fuzzCoeff16(coefBytes []byte, j int) uint16 {
+	at := func(k int) uint16 {
+		if len(coefBytes) == 0 {
+			return 7
+		}
+		b0 := coefBytes[(2*k)%len(coefBytes)]
+		b1 := coefBytes[(2*k+1)%len(coefBytes)]
+		return uint16(b0)<<8 | uint16(b1)
+	}
+	switch {
+	case j > 0 && j%3 == 0:
+		return at(0) // repeat the first coefficient
+	case j%4 == 3:
+		return uint16(j/4) % 2 // zero and one terms
+	default:
+		return at(j)
+	}
+}
+
+// FuzzAddMulSlice differential-tests the dispatched single-source bulk
+// kernels against the portable generic layer over both fields, arbitrary
+// payloads, coefficients, and slice alignments. The fuzzer owns the
+// search for the length/alignment/coefficient combination the
+// hand-written kernelLengths table missed; any divergence between layers
+// is a crash.
 //
 // CI runs this both as a regular test (corpus replay, including under the
 // purego tag) and as a short -fuzz smoke in the test job.

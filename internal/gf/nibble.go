@@ -113,6 +113,38 @@ func addMulNib16(dst, src []uint16, t *nib16) {
 	}
 }
 
+// addMulNib8x2 is the portable form of the 2-source fused kernel: one
+// pass over dst accumulating both terms. Used for strip tails and as the
+// differential reference for the fused table/ABI layout.
+func addMulNib8x2(dst, s0, s1 []uint8, ts *[fusedWidth]nib8) {
+	for i := range dst {
+		dst[i] ^= mulNib8(&ts[0], s0[i]) ^ mulNib8(&ts[1], s1[i])
+	}
+}
+
+// addMulNib8x4 is addMulNib8x2 for four source terms.
+func addMulNib8x4(dst, s0, s1, s2, s3 []uint8, ts *[fusedWidth]nib8) {
+	for i := range dst {
+		dst[i] ^= mulNib8(&ts[0], s0[i]) ^ mulNib8(&ts[1], s1[i]) ^
+			mulNib8(&ts[2], s2[i]) ^ mulNib8(&ts[3], s3[i])
+	}
+}
+
+// addMulNib16x2 is addMulNib8x2 for GF(2^16).
+func addMulNib16x2(dst, s0, s1 []uint16, ts *[fusedWidth]nib16) {
+	for i := range dst {
+		dst[i] ^= mulNib16(&ts[0], s0[i]) ^ mulNib16(&ts[1], s1[i])
+	}
+}
+
+// addMulNib16x4 is addMulNib8x4 for GF(2^16).
+func addMulNib16x4(dst, s0, s1, s2, s3 []uint16, ts *[fusedWidth]nib16) {
+	for i := range dst {
+		dst[i] ^= mulNib16(&ts[0], s0[i]) ^ mulNib16(&ts[1], s1[i]) ^
+			mulNib16(&ts[2], s2[i]) ^ mulNib16(&ts[3], s3[i])
+	}
+}
+
 // mulSliceNib8 computes dst[i] = c*dst[i] through the nibble tables.
 func mulSliceNib8(dst []uint8, t *nib8) {
 	for i, d := range dst {

@@ -3,11 +3,13 @@
 // multi-RHS solving, and row-space membership (the eavesdropper's attack).
 //
 // All row arithmetic — products, mat-vec, elimination updates — goes
-// through the gf bulk kernels, batched where the shape allows it
-// (AddMulSlices for row combinations, EliminateRows for the per-column
-// elimination update), so it gets that package's arch-dispatched nibble
-// kernels, shared coefficient tables and word-wide XOR rather than
-// per-symbol log/exp lookups.
+// through the gf bulk kernels in multi-term shapes: products combine whole
+// rows with AddMulSlices, and Gaussian elimination runs as a panel engine
+// (panelEliminate) that retires up to four pivot columns per pass, so each
+// target row is updated by one fused multi-source kernel call instead of
+// one walk per pivot. That routes the hot loops onto the arch-dispatched
+// fused strip kernels with shared coefficient tables and no steady-state
+// allocations, rather than per-symbol log/exp lookups.
 //
 // Matrices are row-major and mutable; the elimination routines operate on
 // private copies unless the method name says otherwise. All operations
@@ -29,6 +31,11 @@ type Matrix[E gf.Elem] struct {
 	rows int
 	cols int
 	d    []E // row-major, len rows*cols
+	// piv is the reusable pivot buffer for the panel elimination engine;
+	// lazily grown on first elimination and reused after, so steady-state
+	// elimination on a reused matrix allocates nothing. Never copied by
+	// Clone.
+	piv []Pivot
 }
 
 // New returns a zero rows x cols matrix over field f.
@@ -213,41 +220,141 @@ func (m *Matrix[E]) Rank() int {
 	return w.echelon()
 }
 
-// echelon reduces the receiver to row echelon form in place and returns its
-// rank. The per-column update goes through gf.EliminateRows: one batched
-// call eliminating every row below the pivot, so the pivot row stays hot
-// and repeated coefficients share their kernel tables.
-func (m *Matrix[E]) echelon() int {
+// Pivot records one pivot produced by the panel elimination engine: the
+// row it ended up in and the column it eliminates.
+type Pivot struct{ Row, Col int }
+
+// panelWidth is the number of pivot columns the elimination engine
+// retires per fused pass: the trailing update then presents panelWidth
+// (coefficient, pivot-row) terms per target row to one gf.AddMulSlices
+// call — the widest fused kernel pass — so each target row is loaded and
+// stored once per panel instead of once per pivot column.
+const panelWidth = 4
+
+// panelEliminate reduces m in place over its first limitCols columns
+// using panels of up to panelWidth pivots and returns the pivots (in
+// elimination order, appended to the caller's buffer) plus the product of
+// the pivot values (the determinant contribution; callers that don't
+// need it ignore it).
+//
+// Within a panel the engine works lazily: pivot candidates in later
+// columns are evaluated as v = a[i][c] ^ Σ_j a[i][colj]·piv_j[c] without
+// touching the rows, which selects exactly the pivots (positions and
+// values) that eager column-by-column elimination would. Each pivot row,
+// once chosen, is made current against the panel, normalized, and
+// Jordan-reduced against the other pivot rows, so the panel's pivot rows
+// carry an identity pattern on the panel columns. That identity is what
+// makes the deferred update correct: a target row's current (stale)
+// entries at the panel columns are precisely its combination
+// coefficients, and one fused AddMulSlices pass zeroes all panelWidth
+// columns at once. jordan selects Gauss-Jordan (eliminate every
+// non-pivot row, as Inverse/Solve need) versus forward-only elimination
+// (rows below the panel, as rank and determinant need).
+func (m *Matrix[E]) panelEliminate(limitCols int, jordan bool, pivots []Pivot) ([]Pivot, E) {
 	f := m.f
+	det := E(1)
+	var (
+		pivCols [panelWidth]int
+		srcs    [panelWidth][]E
+		cs      [panelWidth]E
+	)
 	r := 0
-	dsts := make([][]E, 0, m.rows)
-	cs := make([]E, 0, m.rows)
-	for c := 0; c < m.cols && r < m.rows; c++ {
-		// Find a pivot in column c at or below row r.
-		p := -1
-		for i := r; i < m.rows; i++ {
-			if m.At(i, c) != 0 {
-				p = i
-				break
+	c := 0
+	for c < limitCols && r < m.rows {
+		c0 := c // the panel's first candidate column; all updates run on [c0:]
+		k := 0
+		for ; c < limitCols && k < panelWidth && r+k < m.rows; c++ {
+			// Lazy pivot search in column c over the not-yet-updated rows.
+			p := -1
+			var pv E
+			for i := r + k; i < m.rows; i++ {
+				v := m.At(i, c)
+				for j := 0; j < k; j++ {
+					if w := m.At(i, pivCols[j]); w != 0 {
+						v ^= f.Mul(w, m.At(r+j, c))
+					}
+				}
+				if v != 0 {
+					p, pv = i, v
+					break
+				}
 			}
-		}
-		if p < 0 {
-			continue
-		}
-		m.swapRows(r, p)
-		pivInv := f.Inv(m.At(r, c))
-		f.MulSlice(m.Row(r)[c:], pivInv)
-		dsts, cs = dsts[:0], cs[:0]
-		for i := r + 1; i < m.rows; i++ {
-			if v := m.At(i, c); v != 0 {
-				dsts = append(dsts, m.Row(i)[c:])
-				cs = append(cs, v)
+			if p < 0 {
+				continue // no pivot in this column anywhere below
 			}
+			m.swapRows(r+k, p)
+			row := m.Row(r + k)
+			// Bring the new pivot row current against the panel so far.
+			for j := 0; j < k; j++ {
+				if w := row[pivCols[j]]; w != 0 {
+					f.AddMulSlice(row[c0:], m.Row(r + j)[c0:], w)
+				}
+			}
+			det = f.Mul(det, pv)
+			f.MulSlice(row[c:], f.Inv(pv))
+			// Jordan-reduce the earlier pivot rows against this column,
+			// preserving the panel's identity pattern.
+			for j := 0; j < k; j++ {
+				pr := m.Row(r + j)
+				if w := pr[c]; w != 0 {
+					f.AddMulSlice(pr[c:], row[c:], w)
+				}
+			}
+			pivCols[k] = c
+			pivots = append(pivots, Pivot{Row: r + k, Col: c})
+			k++
 		}
-		f.EliminateRows(dsts, m.Row(r)[c:], cs)
-		r++
+		if k == 0 {
+			break // no pivots remain anywhere
+		}
+		for j := 0; j < k; j++ {
+			srcs[j] = m.Row(r + j)[c0:]
+		}
+		// Deferred trailing update: one fused multi-term pass per target
+		// row eliminates all k panel columns from it.
+		lo := r + k
+		if jordan {
+			lo = 0
+		}
+		for i := lo; i < m.rows; i++ {
+			if i >= r && i < r+k {
+				continue
+			}
+			row := m.Row(i)
+			any := false
+			for j := 0; j < k; j++ {
+				cs[j] = row[pivCols[j]]
+				any = any || cs[j] != 0
+			}
+			if !any {
+				continue
+			}
+			f.AddMulSlices(row[c0:], srcs[:k], cs[:k])
+		}
+		r += k
 	}
-	return r
+	return pivots, det
+}
+
+// echelon reduces the receiver to row echelon form in place (reduced
+// within each panel) and returns its rank.
+func (m *Matrix[E]) echelon() int {
+	pivots, _ := m.panelEliminate(m.cols, false, m.piv[:0])
+	m.piv = pivots
+	return len(pivots)
+}
+
+// GaussJordan reduces m in place over its first limitCols columns with
+// the panel-fused elimination engine and returns the pivots in
+// elimination order. After it returns, every pivot column holds a unit
+// vector (1 at its pivot row), which makes the right-hand columns of an
+// augmented system directly readable as solutions. The returned slice
+// aliases the matrix's internal pivot buffer and is valid until the next
+// elimination on m.
+func GaussJordan[E gf.Elem](m *Matrix[E], limitCols int) []Pivot {
+	pivots, _ := m.panelEliminate(limitCols, true, m.piv[:0])
+	m.piv = pivots
+	return pivots
 }
 
 func (m *Matrix[E]) swapRows(i, j int) {
@@ -273,38 +380,14 @@ func (m *Matrix[E]) Inverse() (*Matrix[E], error) {
 		panic("matrix: Inverse of non-square matrix")
 	}
 	n := m.rows
-	// Standard Gauss-Jordan on the augmented matrix [m | I].
+	// Panel Gauss-Jordan on the augmented matrix [m | I].
 	aug := New(m.f, n, 2*n)
 	for i := 0; i < n; i++ {
 		copy(aug.Row(i)[:n], m.Row(i))
 		aug.Set(i, n+i, 1)
 	}
-	f := m.f
-	dsts := make([][]E, 0, n)
-	cs := make([]E, 0, n)
-	for c := 0; c < n; c++ {
-		p := -1
-		for i := c; i < n; i++ {
-			if aug.At(i, c) != 0 {
-				p = i
-				break
-			}
-		}
-		if p < 0 {
-			return nil, ErrSingular
-		}
-		aug.swapRows(c, p)
-		f.MulSlice(aug.Row(c), f.Inv(aug.At(c, c)))
-		dsts, cs = dsts[:0], cs[:0]
-		for i := 0; i < n; i++ {
-			if i != c {
-				if v := aug.At(i, c); v != 0 {
-					dsts = append(dsts, aug.Row(i))
-					cs = append(cs, v)
-				}
-			}
-		}
-		f.EliminateRows(dsts, aug.Row(c), cs)
+	if len(GaussJordan(aug, n)) < n {
+		return nil, ErrSingular
 	}
 	inv := New(m.f, n, n)
 	for i := 0; i < n; i++ {
@@ -328,42 +411,13 @@ func Solve[E gf.Elem](a, b *Matrix[E]) (*Matrix[E], error) {
 		copy(aug.Row(i)[:k], a.Row(i))
 		copy(aug.Row(i)[k:], b.Row(i))
 	}
-	// Forward elimination restricted to the first k columns.
-	r := 0
-	pivCols := make([]int, 0, k)
-	dsts := make([][]E, 0, n)
-	cs := make([]E, 0, n)
-	for c := 0; c < k && r < n; c++ {
-		p := -1
-		for i := r; i < n; i++ {
-			if aug.At(i, c) != 0 {
-				p = i
-				break
-			}
-		}
-		if p < 0 {
-			continue
-		}
-		aug.swapRows(r, p)
-		f.MulSlice(aug.Row(r)[c:], f.Inv(aug.At(r, c)))
-		dsts, cs = dsts[:0], cs[:0]
-		for i := 0; i < n; i++ {
-			if i != r {
-				if v := aug.At(i, c); v != 0 {
-					dsts = append(dsts, aug.Row(i)[c:])
-					cs = append(cs, v)
-				}
-			}
-		}
-		f.EliminateRows(dsts, aug.Row(r)[c:], cs)
-		pivCols = append(pivCols, c)
-		r++
-	}
-	if r < k {
+	// Panel Gauss-Jordan restricted to the first k columns.
+	pivots := GaussJordan(aug, k)
+	if len(pivots) < k {
 		return nil, ErrUnderdetermined
 	}
 	// Any leftover row with a nonzero RHS is an inconsistency.
-	for i := r; i < n; i++ {
+	for i := len(pivots); i < n; i++ {
 		for _, v := range aug.Row(i)[k:] {
 			if v != 0 {
 				return nil, ErrInconsistent
@@ -371,8 +425,8 @@ func Solve[E gf.Elem](a, b *Matrix[E]) (*Matrix[E], error) {
 		}
 	}
 	x := New(f, k, b.cols)
-	for ri, c := range pivCols {
-		copy(x.Row(c), aug.Row(ri)[k:])
+	for _, p := range pivots {
+		copy(x.Row(p.Col), aug.Row(p.Row)[k:])
 	}
 	return x, nil
 }
@@ -416,40 +470,19 @@ func InRowSpace[E gf.Elem](a *Matrix[E], v []E) bool {
 	return w.echelon() == a.Rank()
 }
 
-// Det returns the determinant via Gaussian elimination. In characteristic
-// 2 row swaps do not flip the sign, so no parity tracking is needed.
+// Det returns the determinant via panel elimination: the product of the
+// pivot values the engine selects, which match eager column-by-column
+// elimination exactly. In characteristic 2 row swaps do not flip the
+// sign, so no parity tracking is needed.
 func (m *Matrix[E]) Det() E {
 	if m.rows != m.cols {
 		panic("matrix: Det of non-square matrix")
 	}
 	w := m.Clone()
-	f := m.f
-	det := E(1)
-	dsts := make([][]E, 0, w.rows)
-	cs := make([]E, 0, w.rows)
-	for c := 0; c < w.cols; c++ {
-		p := -1
-		for i := c; i < w.rows; i++ {
-			if w.At(i, c) != 0 {
-				p = i
-				break
-			}
-		}
-		if p < 0 {
-			return 0
-		}
-		w.swapRows(c, p)
-		piv := w.At(c, c)
-		det = f.Mul(det, piv)
-		inv := f.Inv(piv)
-		dsts, cs = dsts[:0], cs[:0]
-		for i := c + 1; i < w.rows; i++ {
-			if v := w.At(i, c); v != 0 {
-				dsts = append(dsts, w.Row(i)[c:])
-				cs = append(cs, f.Mul(v, inv))
-			}
-		}
-		f.EliminateRows(dsts, w.Row(c)[c:], cs)
+	pivots, det := w.panelEliminate(w.cols, false, w.piv[:0])
+	w.piv = pivots
+	if len(pivots) < w.cols {
+		return 0
 	}
 	return det
 }

@@ -105,11 +105,7 @@ func CompleteFromEquations[E gf.Elem](f *gf.Field[E], m int, known map[int][]E, 
 		}
 	}
 	if len(unknown) == 0 {
-		out := make([][]E, m)
-		for i := 0; i < m; i++ {
-			out[i] = append([]E(nil), known[i]...)
-		}
-		return out, nil
+		return gatherRows(m, known, nil, nil), nil
 	}
 	if len(coeffs) == 0 {
 		return nil, fmt.Errorf("mds: %d unknown packets but no equations", len(unknown))
@@ -148,14 +144,33 @@ func CompleteFromEquations[E gf.Elem](f *gf.Field[E], m int, known map[int][]E, 
 	if err != nil {
 		return nil, fmt.Errorf("mds: complete: %w", err)
 	}
+	return gatherRows(m, known, unknown, x), nil
+}
+
+// gatherRows assembles the full packet set into one contiguous backing
+// array (m rows, one allocation instead of m): known payloads are copied
+// at their indices, solved rows fill the unknowns.
+func gatherRows[E gf.Elem](m int, known map[int][]E, unknown []int, x *matrix.Matrix[E]) [][]E {
+	width := 0
+	for _, p := range known {
+		width = len(p)
+		break
+	}
+	if x != nil && x.Rows() > 0 {
+		width = x.Cols()
+	}
+	backing := make([]E, m*width)
 	out := make([][]E, m)
+	for i := 0; i < m; i++ {
+		out[i] = backing[i*width : (i+1)*width : (i+1)*width]
+	}
 	for i, payload := range known {
-		out[i] = append([]E(nil), payload...)
+		copy(out[i], payload)
 	}
 	for k, i := range unknown {
-		out[i] = append([]E(nil), x.Row(k)...)
+		copy(out[i], x.Row(k))
 	}
-	return out, nil
+	return out
 }
 
 // seq returns [lo, hi) as a slice.

@@ -94,6 +94,10 @@ type node struct {
 	ep      Endpoint
 	res     *NodeResult
 	backlog []Env
+	// scratch carries the terminal-side round buffers across the session's
+	// rounds, so a long-lived daemon node combines packets without
+	// per-round allocation churn.
+	scratch core.RoundScratch
 }
 
 func (n *node) header(round int) wire.Header {
@@ -344,7 +348,7 @@ func (n *node) terminalRound(ctx context.Context, round, leader int) error {
 		zs = append(zs, msg.(*wire.ZPacket))
 	}
 
-	secretRows, err := core.ComputeTerminalSecret(xPayloads, ya, zs, sa)
+	secretRows, err := core.ComputeTerminalSecretInto(&n.scratch, xPayloads, ya, zs, sa)
 	if err != nil {
 		return err
 	}

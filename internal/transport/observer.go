@@ -161,31 +161,42 @@ func (o *Observer) evaluate(r *observerRound) {
 			know.AddUnit(int(seq), payload)
 		}
 	}
+	// One reusable composition row: each z/s coefficient vector is composed
+	// over the x-space in a single fused multi-term kernel pass, and
+	// AddCombo copies what it keeps.
+	comp := make([]core.Sym, r.numX)
 	yoxRows := yox.RowViews()
 	for _, zp := range r.zs {
 		if len(zp.Coeffs) != m || len(zp.Payload)%2 != 0 {
 			continue
 		}
-		c := make([]core.Sym, r.numX)
-		f.AddMulSlices(c, yoxRows, zp.Coeffs)
-		know.AddCombo(c, gf.Symbols16(zp.Payload))
+		clear(comp)
+		f.AddMulSlices(comp, yoxRows, zp.Coeffs)
+		know.AddCombo(comp, gf.Symbols16(zp.Payload))
 	}
 
-	secretRows := make([][]core.Sym, 0, len(r.sa.Coeffs))
+	// Compose the secret rows straight into their matrix, skipping
+	// malformed announcements.
+	nsec := 0
+	for _, sc := range r.sa.Coeffs {
+		if len(sc) == m {
+			nsec++
+		}
+	}
+	if nsec == 0 {
+		return
+	}
+	sm := matrix.New(f, nsec, r.numX)
+	i := 0
 	for _, sc := range r.sa.Coeffs {
 		if len(sc) != m {
 			continue
 		}
-		c := make([]core.Sym, r.numX)
-		f.AddMulSlices(c, yoxRows, sc)
-		secretRows = append(secretRows, c)
+		f.AddMulSlices(sm.Row(i), yoxRows, sc)
+		i++
 	}
-	if len(secretRows) == 0 {
-		return
-	}
-	sm := matrix.FromRows(f, secretRows)
 	u := know.UnknownSecretDims(sm)
-	o.SecretDims += len(secretRows)
+	o.SecretDims += nsec
 	o.UnknownDims += u
 }
 

@@ -162,13 +162,17 @@ func RunSession(cfg core.Config, med *radio.Medium, eveNodes []radio.NodeID) (*c
 		}
 		yox := plan.YOverX()
 
+		// Reusable per-transmission buffers: AddCombo copies what it keeps,
+		// and the decrypt check consumes ct before the next iteration.
+		ct := make([]Sym, width)
+		pad := make([]Sym, width)
+		row := make([]Sym, cfg.XPerRound+keyLen)
 		for t := 0; t < n; t++ {
 			if t == leader {
 				continue
 			}
 			for k := 0; k < keyLen; k++ {
 				idx := pads[t][k]
-				ct := make([]Sym, width)
 				copy(ct, secret[k])
 				f.AddMulSlice(ct, y[idx], 1)
 				uh := h
@@ -177,7 +181,7 @@ func RunSession(cfg core.Config, med *radio.Medium, eveNodes []radio.NodeID) (*c
 				med.BroadcastReliable(radio.NodeID(leader), len(frame)*8)
 				// Eve hears the ciphertext: ct = s_k + y_idx, a linear
 				// combination over the joint space.
-				row := make([]Sym, cfg.XPerRound+keyLen)
+				clear(row)
 				copy(row, yox.Row(idx))
 				row[cfg.XPerRound+k] = 1
 				know.AddCombo(row, ct)
@@ -191,20 +195,20 @@ func RunSession(cfg core.Config, med *radio.Medium, eveNodes []radio.NodeID) (*c
 			}
 			for k := 0; k < keyLen; k++ {
 				// Recompute the pad from received x-packets: check every
-				// referenced packet arrived, then combine in one batched
+				// referenced packet arrived, then combine in one fused
 				// kernel call.
-				row := yox.Row(pads[t][k])
-				for c, v := range row {
+				yrow := yox.Row(pads[t][k])
+				for c, v := range yrow {
 					if v != 0 && !recv[t].Has(packet.ID(c)) {
 						return nil, fmt.Errorf("unicast: pad for terminal %d uses unreceived packet %d", t, c)
 					}
 				}
-				pad := make([]Sym, width)
-				f.AddMulSlices(pad, xSym, row)
-				ct := make([]Sym, width)
+				clear(pad)
+				f.AddMulSlices(pad, xSym, yrow)
 				copy(ct, secret[k])
-				f.AddMulSlice(ct, y[pads[t][k]], 1)
-				f.AddMulSlice(ct, pad, 1) // decrypt
+				// Encrypt-then-decrypt in one fused two-term pass: the pad
+				// recomputed from x-packets must cancel the leader's y.
+				f.AddMulSlices(ct, [][]Sym{y[pads[t][k]], pad}, []Sym{1, 1})
 				if !bytes.Equal(gf.Bytes16(ct), gf.Bytes16(secret[k])) {
 					info.Agreed = false
 					res.AllAgreed = false
