@@ -12,7 +12,8 @@
 //	thinair-bench -rotation
 //	thinair-bench -ablation estimators|allocation|interference|rotation
 //	thinair-bench -all -quick
-//	thinair-bench -gf-json BENCH_gf.json   # GF kernel matrix as JSON
+//	thinair-bench -gf-json BENCH_gf.json           # GF kernel matrix as JSON
+//	thinair-bench -stream-json BENCH_stream.json   # bulk stream vs per-draw HTTP
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		rotation = flag.Bool("rotation", false, "run the §3.2 rotation worst-case check")
 		ablation = flag.String("ablation", "", "run an ablation: estimators, allocation, interference, rotation, selfjam, burstiness, cancelling-eve")
 		gfJSON   = flag.String("gf-json", "", "run the GF kernel benchmark matrix and write the results as JSON to this file")
+		strJSON  = flag.String("stream-json", "", "run the bulk-stream vs per-draw HTTP benchmark and write the results as JSON to this file")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "subsample placements for a fast run")
 		seed     = flag.Int64("seed", 11, "experiment seed")
@@ -47,6 +49,10 @@ func main() {
 	if *gfJSON != "" {
 		ran = true
 		gfBench(*gfJSON)
+	}
+	if *strJSON != "" {
+		ran = true
+		streamBench(*strJSON)
 	}
 	if *all || *figure == 1 {
 		ran = true

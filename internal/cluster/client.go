@@ -84,6 +84,33 @@ func (c *WorkerClient) do(ctx context.Context, method, path string, body, out an
 	return nil
 }
 
+// doRaw performs one RPC whose success body is raw bytes rather than
+// JSON (the stream endpoint). Error responses still carry the JSON
+// envelope and map to the same typed errors as do.
+func (c *WorkerClient) doRaw(ctx context.Context, method, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("cluster: worker rpc: %w", ctx.Err())
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return nil, rpcError(resp.StatusCode, eb)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // rpcError maps a worker error response back to the typed error the
 // worker raised.
 func rpcError(status int, eb errorBody) error {
@@ -150,6 +177,13 @@ func (c *WorkerClient) Draw(ctx context.Context, cid uint64, n int) ([]byte, err
 		return nil, err
 	}
 	return hex.DecodeString(dr.Key)
+}
+
+// StreamRange reads key-material bytes [off, off+n) from a cluster
+// session (the worker's bulk stream surface).
+func (c *WorkerClient) StreamRange(ctx context.Context, cid uint64, off, n int64) ([]byte, error) {
+	return c.doRaw(ctx, http.MethodGet,
+		fmt.Sprintf("/ctl/sessions/%d/stream?offset=%d&len=%d", cid, off, n))
 }
 
 // Drain asks the worker to drain every session and zeroize every pool.

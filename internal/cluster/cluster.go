@@ -23,6 +23,7 @@
 //	GET    /ctl/sessions/{cid}         one session's metrics
 //	DELETE /ctl/sessions/{cid}         close one session
 //	POST   /ctl/sessions/{cid}/draw    draw key material
+//	GET    /ctl/sessions/{cid}/stream  bulk key material (?offset=&len=)
 //
 // cmd/thinaird exposes both halves as the `coordinator` and `worker`
 // subcommands; ExecSpawner wires them together as real OS processes and
@@ -96,9 +97,10 @@ const (
 // The wire helpers are shared with the single-process service API
 // (internal/httpapi) so the two tiers' envelopes cannot diverge.
 var (
-	writeJSON = httpapi.WriteJSON
-	httpError = httpapi.Error
-	drawBytes = httpapi.DrawBytes
+	writeJSON   = httpapi.WriteJSON
+	httpError   = httpapi.Error
+	drawBytes   = httpapi.DrawBytes
+	streamRange = httpapi.StreamRange
 )
 
 // sessionIDFromPath parses the {id} path value both tiers use to

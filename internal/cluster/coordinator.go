@@ -632,6 +632,24 @@ func (c *Coordinator) lookup(cid uint64) (cs *clusterSession, client *WorkerClie
 
 // Draw routes a key draw to the worker owning the session.
 func (c *Coordinator) Draw(ctx context.Context, cid uint64, n int) ([]byte, error) {
+	return c.routeKeyRead(cid, func(client *WorkerClient) ([]byte, error) {
+		return client.Draw(ctx, cid, n)
+	})
+}
+
+// StreamRange routes a bulk stream-range read to the worker owning the
+// session (the worker serves it from the session's keystream or, for the
+// UDP sessions the coordinator creates, the consuming bulk-draw fallback).
+func (c *Coordinator) StreamRange(ctx context.Context, cid uint64, off, n int64) ([]byte, error) {
+	return c.routeKeyRead(cid, func(client *WorkerClient) ([]byte, error) {
+		return client.StreamRange(ctx, cid, off, n)
+	})
+}
+
+// routeKeyRead resolves a session's owner and runs one key-material RPC
+// against it, sharing the orphan/condemn bookkeeping between the draw and
+// stream paths.
+func (c *Coordinator) routeKeyRead(cid uint64, call func(*WorkerClient) ([]byte, error)) ([]byte, error) {
 	cs, client, state, err := c.lookup(cid)
 	if err != nil {
 		return nil, err
@@ -642,12 +660,12 @@ func (c *Coordinator) Draw(ctx context.Context, cid uint64, n int) ([]byte, erro
 		}
 		return nil, fmt.Errorf("%w: session %d", ErrOrphaned, cid)
 	}
-	key, err := client.Draw(ctx, cid, n)
+	key, err := call(client)
 	if errors.Is(err, ErrNotFound) {
 		c.mu.Lock()
 		if cs.state == sessionAssigned {
 			if time.Since(cs.placedAt) < 2*c.cfg.HeartbeatEvery {
-				// Same grace reconcile uses: a draw racing a just-landed
+				// Same grace reconcile uses: a read racing a just-landed
 				// assignment must not condemn a healthy session.
 				c.mu.Unlock()
 				return nil, fmt.Errorf("%w: session %d settling on its worker", ErrOrphaned, cid)

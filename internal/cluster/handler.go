@@ -24,6 +24,7 @@ import (
 //	GET    /v1/sessions/{id}         one session's info + metrics
 //	DELETE /v1/sessions/{id}         close tier-wide
 //	POST   /v1/sessions/{id}/draw    draw ?bytes=N of key material
+//	GET    /v1/sessions/{id}/stream  bulk ?offset=&len= key material
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +109,23 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, drawResponse{
 			Session: cid, Bytes: n, Key: hex.EncodeToString(key),
 		})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(w, r)
+		if !ok {
+			return
+		}
+		off, n, ok := streamRange(w, r)
+		if !ok {
+			return
+		}
+		key, err := c.StreamRange(r.Context(), cid, off, n)
+		if err != nil {
+			writeDrawError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(key)
 	})
 	return mux
 }

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestCoordinatorStreamRangeRouting: the bulk stream surface routes to
+// the owning worker, and — because cluster sessions are pool-fed — it is
+// served by the consuming bulk draw, so a stream read on one session
+// equals a plain draw on its same-seed twin placed on a different worker.
+func TestCoordinatorStreamRangeRouting(t *testing.T) {
+	c, err := New(testConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+	ctx := context.Background()
+
+	spec := fastSpec(7373)
+	a, err := c.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Worker == b.Worker {
+		t.Fatalf("same-seed pair landed on one worker (%d)", a.Worker)
+	}
+	waitConverged(t, c, a.ID, spec.TargetDepth)
+	waitConverged(t, c, b.ID, spec.TargetDepth)
+
+	streamed, err := c.StreamRange(ctx, a.ID, 0, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drawn, err := c.Draw(ctx, b.ID, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, drawn) {
+		t.Fatal("routed stream read != same-seed draw: bulk path broke pool ordering")
+	}
+
+	// Pool-fed sessions have no address space: non-zero offsets are
+	// rejected rather than silently mis-addressed.
+	if _, err := c.StreamRange(ctx, a.ID, 64, 32); err == nil {
+		t.Fatal("non-zero offset on a pool-fed session succeeded")
+	}
+
+	// Unknown sessions surface the typed not-found error through the RPC.
+	if _, err := c.StreamRange(ctx, 99999, 0, 32); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown session: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestCoordinatorStreamHTTP exercises the public stream endpoint
+// end-to-end: raw octet-stream body of exactly len bytes, and the shared
+// parameter validation (400 on a bad len).
+func TestCoordinatorStreamHTTP(t *testing.T) {
+	c, err := New(testConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+
+	spec := fastSpec(515)
+	info, err := c.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, c, info.ID, spec.TargetDepth)
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/sessions/1/stream?len=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream read: status %d body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	if len(body) != 64 {
+		t.Fatalf("stream body: %d bytes, want 64", len(body))
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/sessions/1/stream?len=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("len=0: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sync"
@@ -152,6 +153,38 @@ func (w *Worker) Draw(cid uint64, n int) ([]byte, error) {
 		return nil, err
 	}
 	return s.Draw(n)
+}
+
+// errPoolFedOffset rejects non-zero offsets on pool-fed sessions — a
+// pool pop has no address space, so honoring the offset would silently
+// hand back the wrong bytes.
+var errPoolFedOffset = errors.New("cluster: session is pool-fed; offsets are not addressable")
+
+// StreamRead returns key-material bytes [off, off+n) from a cluster
+// session. Cluster sessions run over UDP, so they are pool-fed, not
+// stream-fed: the read is served by the single-lock bulk draw
+// (consuming, offset 0 only). If a directly-assigned session happens to
+// be stream-fed, the read addresses its keystream instead.
+func (w *Worker) StreamRead(cid uint64, off, n int64) ([]byte, error) {
+	s, err := w.lookup(cid)
+	if err != nil {
+		return nil, err
+	}
+	src, err := s.StreamRange(off, n)
+	if errors.Is(err, service.ErrNoStream) {
+		if off != 0 {
+			return nil, fmt.Errorf("%w (session %d)", errPoolFedOffset, cid)
+		}
+		return s.DrawBulk(int(n))
+	}
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(src, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // Metrics snapshots one cluster session.
@@ -307,6 +340,27 @@ func (w *Worker) Handler() http.Handler {
 		writeJSON(rw, http.StatusOK, drawResponse{
 			Session: cid, Bytes: n, Key: hex.EncodeToString(key),
 		})
+	})
+	mux.HandleFunc("GET /ctl/sessions/{id}/stream", func(rw http.ResponseWriter, r *http.Request) {
+		cid, ok := sessionIDFromPath(rw, r)
+		if !ok {
+			return
+		}
+		off, n, ok := streamRange(rw, r)
+		if !ok {
+			return
+		}
+		key, err := w.StreamRead(cid, off, n)
+		if err != nil {
+			if errors.Is(err, errPoolFedOffset) {
+				httpError(rw, http.StatusBadRequest, "", err)
+				return
+			}
+			writeDrawError(rw, err)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Write(key)
 	})
 	return mux
 }

@@ -164,6 +164,14 @@ func ComputeTerminalSecret(
 // s-packets, again one fused combination per row over the full y-set.
 // It returns the round's group secret.
 //
+// The computation is two halves, exposed separately so a pipelined
+// consumer (internal/keystream) can overlap them across rounds: the
+// receive half (ReceiveRoundInto) runs as soon as the y-announcement
+// arrives, while the round's z-packets are still in flight; the eliminate
+// half (PartialRound.Eliminate) runs once the z-packets and the
+// s-announcement are in. This composition is pinned byte-identical to the
+// halves by TestSplitHalvesMatchCombined.
+//
 // sc may be nil (a throwaway scratch is used and the results are fresh);
 // otherwise the returned rows alias sc's arena as documented on
 // RoundScratch.
@@ -174,6 +182,44 @@ func ComputeTerminalSecretInto(
 	zs []*wire.ZPacket,
 	sa *wire.SAnnounce,
 ) ([][]Sym, error) {
+	pr, err := ReceiveRoundInto(sc, recv, ya)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Eliminate(zs, sa)
+}
+
+// PartialRound is the output of the receive half of a terminal round: the
+// directly reconstructed y-packets, waiting for the erasure completion and
+// privacy amplification of the eliminate half. It aliases the scratch it
+// was built into; a scratch holds at most one live PartialRound (the next
+// ReceiveRoundInto on the same scratch invalidates it).
+type PartialRound struct {
+	sc *RoundScratch
+	// M is the round's y-space dimension (the number of announced
+	// y-packet constructions).
+	M int
+}
+
+// Known reports how many y-packets the receive half reconstructed
+// directly. Known == M means the eliminate half will skip the erasure
+// completion entirely (full reception fast path).
+func (pr PartialRound) Known() int { return len(pr.sc.known) }
+
+// ReceiveRoundInto is the receive half of a terminal round: reconstruct
+// every y-packet whose class is fully covered by the reception set, one
+// fused multi-term kernel combination per announced coefficient row. It
+// needs only the x-payloads and the y-announcement — not the z-packets or
+// the s-announcement — so a pipelined node runs it while the rest of the
+// round's reliable broadcasts are still arriving.
+//
+// sc may be nil (a throwaway scratch is allocated). The scratch is reset:
+// any previous PartialRound built into it is invalidated.
+func ReceiveRoundInto(
+	sc *RoundScratch,
+	recv map[packet.ID][]Sym,
+	ya *wire.YAnnounce,
+) (PartialRound, error) {
 	if sc == nil {
 		sc = &RoundScratch{}
 	}
@@ -205,7 +251,7 @@ func ComputeTerminalSecretInto(
 		}
 		for r, row := range batch.Coeffs {
 			if len(row) != len(batch.XIDs) {
-				return nil, fmt.Errorf("core: class coefficient row %d has %d entries for %d x-packets", r, len(row), len(batch.XIDs))
+				return PartialRound{}, fmt.Errorf("core: class coefficient row %d has %d entries for %d x-packets", r, len(row), len(batch.XIDs))
 			}
 			if have {
 				// All x-payloads in a round share one symbol width, so the
@@ -218,7 +264,18 @@ func ComputeTerminalSecretInto(
 			global++
 		}
 	}
-	m := global
+	return PartialRound{sc: sc, M: global}, nil
+}
+
+// Eliminate is the eliminate half of a terminal round: order the
+// z-packets, complete the y-packets the receive half could not reconstruct
+// directly (the erasure elimination), then apply the announced privacy
+// amplification to form the round's group secret. The returned rows alias
+// the scratch arena the receive half was built into.
+func (pr PartialRound) Eliminate(zs []*wire.ZPacket, sa *wire.SAnnounce) ([][]Sym, error) {
+	sc, m := pr.sc, pr.M
+	f := Field()
+	known := sc.known
 
 	// Order the z-packets by index and check coherence.
 	zsorted := append(sc.zs[:0], zs...)

@@ -81,6 +81,86 @@ func TestComputeTerminalSecretIntoMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestSplitHalvesMatchCombined pins the receive/eliminate split the
+// pipelined keystream engine drives: ReceiveRoundInto followed by
+// Eliminate must be byte-identical to ComputeTerminalSecretInto, and the
+// halves must interleave across rounds (receive r, receive r+1 in a
+// second scratch, then eliminate both) without cross-talk — the
+// ping-pong-scratch pattern a terminal uses when round r+1's packet
+// exchange overlaps round r's elimination.
+func TestSplitHalvesMatchCombined(t *testing.T) {
+	shape := func(term int) *packet.IDSet {
+		if term == 1 {
+			return setOf(0, 1, 2, 3, 4, 5)
+		}
+		return setOf(2, 3, 4, 5, 6, 7)
+	}
+	type roundMsgs struct {
+		ya *wire.YAnnounce
+		zs []*wire.ZPacket
+		sa *wire.SAnnounce
+		rm map[packet.ID][]Sym
+	}
+	build := func(seed int64) roundMsgs {
+		_, ya, zs, sa, xSym := buildTestRound(t, seed, 8, shape)
+		rm := make(map[packet.ID][]Sym)
+		for _, id := range shape(1).Slice() {
+			rm[id] = xSym[int(id)]
+		}
+		return roundMsgs{ya: ya, zs: zs, sa: sa, rm: rm}
+	}
+	r0, r1 := build(91), build(92)
+
+	// Sequential: halves == combined, per round.
+	for i, r := range []roundMsgs{r0, r1} {
+		var combined, halves RoundScratch
+		want, err := ComputeTerminalSecretInto(&combined, r.rm, r.ya, r.zs, r.sa)
+		if err != nil {
+			t.Fatalf("round %d combined: %v", i, err)
+		}
+		pr, err := ReceiveRoundInto(&halves, r.rm, r.ya)
+		if err != nil {
+			t.Fatalf("round %d receive half: %v", i, err)
+		}
+		got, err := pr.Eliminate(r.zs, r.sa)
+		if err != nil {
+			t.Fatalf("round %d eliminate half: %v", i, err)
+		}
+		if !bytes.Equal(SecretBytes(got), SecretBytes(want)) {
+			t.Fatalf("round %d: split halves diverge from combined", i)
+		}
+	}
+
+	// Interleaved: receive both rounds before eliminating either, each on
+	// its own scratch, eliminations in reverse order.
+	var want0, want1 RoundScratch
+	w0, _ := ComputeTerminalSecretInto(&want0, r0.rm, r0.ya, r0.zs, r0.sa)
+	w1, _ := ComputeTerminalSecretInto(&want1, r1.rm, r1.ya, r1.zs, r1.sa)
+	var sc [2]RoundScratch
+	pr0, err := ReceiveRoundInto(&sc[0], r0.rm, r0.ya)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr1, err := ReceiveRoundInto(&sc[1], r1.rm, r1.ya)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := pr1.Eliminate(r1.zs, r1.sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := pr0.Eliminate(r0.zs, r0.sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(SecretBytes(g0), SecretBytes(w0)) || !bytes.Equal(SecretBytes(g1), SecretBytes(w1)) {
+		t.Fatal("interleaved halves diverge from sequential combined results")
+	}
+	if pr0.Known() == 0 || pr1.Known() == 0 {
+		t.Fatal("receive half reported no known packets")
+	}
+}
+
 // TestRoundCombinationSteadyStateAllocs is the zero-allocation gate on
 // the terminal round hot path: with a warm RoundScratch and full
 // reception (the common case — erasure completion has its own solver

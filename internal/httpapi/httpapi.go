@@ -48,3 +48,38 @@ func DrawBytes(w http.ResponseWriter, r *http.Request) (int, bool) {
 	}
 	return n, true
 }
+
+// Stream-range parameter contract, shared by the service /stream endpoint
+// and the cluster tier's routed variant.
+const (
+	// MaxStreamBytes caps one stream-range read (64 MiB). Ranges above it
+	// are rejected rather than truncated — the client is addressing exact
+	// offsets, so a silent short read would desynchronize pad consumers.
+	MaxStreamBytes = 64 << 20
+	// DefaultStreamBytes is the length when ?len is absent (64 KiB).
+	DefaultStreamBytes = 64 << 10
+)
+
+// StreamRange parses the ?offset=&len= query of a stream-range read
+// (offset defaults to 0, len to DefaultStreamBytes, capped at
+// MaxStreamBytes), writing the 400 itself when invalid.
+func StreamRange(w http.ResponseWriter, r *http.Request) (off, n int64, ok bool) {
+	n = DefaultStreamBytes
+	if q := r.URL.Query().Get("offset"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v < 0 {
+			Error(w, http.StatusBadRequest, "", errors.New("offset must be a non-negative integer"))
+			return 0, 0, false
+		}
+		off = v
+	}
+	if q := r.URL.Query().Get("len"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v <= 0 || v > MaxStreamBytes {
+			Error(w, http.StatusBadRequest, "", errors.New("len must be in 1..67108864"))
+			return 0, 0, false
+		}
+		n = v
+	}
+	return off, n, true
+}

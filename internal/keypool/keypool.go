@@ -250,6 +250,67 @@ func (p *Pool) tryRefill(need int) error {
 	return nil
 }
 
+// DrawN removes and returns k keys of size bytes each under a single lock
+// acquisition — the bulk path for consumers that previously paid k
+// Draw calls (k lock round-trips, k low-water checks) to assemble a
+// batch. The draw is all-or-nothing: if fewer than k*size bytes are
+// available it fails with ErrExhausted and consumes nothing (with a
+// RefillFunc configured, it refills first, like Draw). The returned keys
+// alias one backing slab, so the whole batch costs two allocations
+// (headers + slab) regardless of k; the pool's copy is zeroized and at
+// most one low-water signal fires for the batch.
+func (p *Pool) DrawN(k, size int) ([][]byte, error) {
+	if k < 0 || size < 0 {
+		return nil, fmt.Errorf("keypool: negative bulk draw %dx%d", k, size)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	total := k * size
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if len(p.buf) >= total {
+			slab := make([]byte, total)
+			copy(slab, p.buf[:total])
+			zero(p.buf[:total])
+			p.buf = p.buf[total:]
+			p.drawn += int64(total)
+			keys := make([][]byte, k)
+			for i := range keys {
+				keys[i] = slab[i*size : (i+1)*size : (i+1)*size]
+			}
+			low := len(p.buf) < p.lowWater
+			if low {
+				p.lowWaterHits++
+				if p.notify != nil {
+					select {
+					case p.notify <- struct{}{}:
+					default: // refresher already signaled
+					}
+				}
+			}
+			topUp := low && p.refill != nil && p.consecFails < refillFailureLimit
+			watermark := p.lowWater
+			p.mu.Unlock()
+			if topUp {
+				_ = p.tryRefill(watermark)
+			}
+			return keys, nil
+		}
+		p.mu.Unlock()
+		if p.refill == nil {
+			return nil, fmt.Errorf("%w: want %d, have %d", ErrExhausted, total, p.Available())
+		}
+		if err := p.tryRefill(total); err != nil {
+			return nil, fmt.Errorf("keypool: refill: %w", err)
+		}
+	}
+}
+
 // DrawPad is Draw specialized for one-time-pad use: it returns a pad of
 // exactly len(plain) bytes and the XOR of plain with it, consuming the
 // pad from the pool. Decryption is XOR with the same pad, so peers

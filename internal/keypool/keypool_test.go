@@ -247,3 +247,89 @@ func TestConcurrentDraws(t *testing.T) {
 		t.Fatalf("leftover %d", p.Available())
 	}
 }
+
+// TestDrawNMatchesSequentialDraws pins the bulk path's semantics: DrawN
+// returns exactly the keys k sequential Draw calls would have, consumes
+// the same bytes, and is all-or-nothing when short.
+func TestDrawNMatchesSequentialDraws(t *testing.T) {
+	material := make([]byte, 8*16)
+	for i := range material {
+		material[i] = byte(i * 7)
+	}
+	seq := New()
+	seq.Deposit(material)
+	bulk := New()
+	bulk.Deposit(material)
+
+	keys, err := bulk.DrawN(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want, err := seq.Draw(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(k) != string(want) {
+			t.Fatalf("bulk key %d differs from sequential draw", i)
+		}
+	}
+	if bulk.Available() != seq.Available() {
+		t.Fatalf("bulk consumed %d, sequential %d", 8*16-bulk.Available(), 8*16-seq.Available())
+	}
+
+	// Short pool: all-or-nothing.
+	if _, err := bulk.DrawN(4, 16); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	if bulk.Available() != 3*16 {
+		t.Fatalf("failed bulk draw consumed bytes: %d left", bulk.Available())
+	}
+	if _, err := bulk.DrawN(3, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bulk.DrawN(0, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrawNLowWaterSignalsOnce pins that a bulk draw crossing the
+// watermark fires at most one low-water edge, not one per key.
+func TestDrawNLowWaterSignalsOnce(t *testing.T) {
+	p := New()
+	p.SetLowWater(64)
+	ch := p.LowWaterSignal()
+	p.Deposit(make([]byte, 256))
+	if _, err := p.DrawN(14, 16); err != nil { // leaves 32 < 64
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("bulk draw crossing the watermark did not signal")
+	}
+	select {
+	case <-ch:
+		t.Fatal("bulk draw signaled more than once")
+	default:
+	}
+	if hits := p.Stats().LowWaterHits; hits != 1 {
+		t.Fatalf("LowWaterHits = %d, want 1", hits)
+	}
+}
+
+// TestDrawNAllocs is the bulk-draw allocation gate: one slab plus one
+// header slice, independent of k — the reason DrawN exists over k Draws
+// (which cost k lock round-trips and k output allocations).
+func TestDrawNAllocs(t *testing.T) {
+	p := New()
+	p.Deposit(make([]byte, 1<<20))
+	run := func() {
+		if _, err := p.DrawN(32, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, run); n > 2 {
+		t.Errorf("DrawN(32, 16) allocates %v times per run, want <= 2", n)
+	}
+}

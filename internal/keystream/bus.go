@@ -1,0 +1,164 @@
+package keystream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// mix64 is the splitmix64 finalizer: a cheap, well-mixed keyed hash used
+// for block seeds and per-frame erasure coins.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// BlockSeed derives block b's seed from the stream seed. Every value a
+// block's bytes depend on (x-payload rng, erasure coins) is keyed off
+// this, which is what makes blocks independently re-derivable.
+func BlockSeed(streamSeed, block int64) int64 {
+	return int64(mix64(mix64(uint64(streamSeed)) ^ uint64(block)))
+}
+
+// Delivered is the content-keyed erasure coin: whether terminal `to`
+// receives x-packet `seq` of round `round` under erasure probability p.
+// It is a pure function of its arguments — no rng stream, so delivery
+// outcomes cannot depend on frame arrival order, injected delays, or
+// which receivers are attached. That property is what lets the block
+// engine compute reception sets from the schedule (identical to what the
+// live bus delivers) and keeps stream bytes re-derivable under any
+// timing.
+func Delivered(blockSeed int64, round, seq, to int, p float64) bool {
+	h := mix64(uint64(blockSeed) ^ mix64(uint64(round)<<40|uint64(seq)<<16|uint64(to)))
+	// 53 uniform mantissa bits, as rand.Float64 constructs its values.
+	return float64(h>>11)/(1<<53) >= p
+}
+
+// simBus is an in-process broadcast bus whose data-plane erasures follow
+// Delivered, and which sheds frames instead of failing when a receiver's
+// inbox overflows. Shedding is what models a SIGSTOP'd member: its node
+// goroutine stops draining Recv, the inbox fills, and the bus drops that
+// member's frames (counted in Stats.ShedFrames) while everyone else —
+// and the block's byte production — continues.
+type simBus struct {
+	blockSeed int64
+	erasure   float64
+	shed      *atomic.Int64 // stream-level shed counter (may be nil)
+
+	mu     sync.Mutex
+	eps    map[int]*simEndpoint
+	bits   atomic.Int64
+	closed bool
+}
+
+const simInbox = 4096
+
+// NewSimBus builds the default deterministic block bus. Endpoints are
+// created lazily, like ChanBus; shed, when non-nil, accumulates the
+// frames dropped on full inboxes.
+func NewSimBus(blockSeed int64, erasure float64, shed *atomic.Int64) transport.Bus {
+	return &simBus{blockSeed: blockSeed, erasure: erasure, shed: shed, eps: make(map[int]*simEndpoint)}
+}
+
+type simEndpoint struct {
+	bus *simBus
+	id  int
+	ch  chan transport.Env
+}
+
+func (b *simBus) Endpoint(id int) (transport.Endpoint, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("keystream: endpoint id %d", id)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, transport.ErrClosed
+	}
+	if ep, ok := b.eps[id]; ok {
+		return ep, nil
+	}
+	ep := &simEndpoint{bus: b, id: id, ch: make(chan transport.Env, simInbox)}
+	b.eps[id] = ep
+	return ep, nil
+}
+
+func (b *simBus) BitsSent() int64 { return b.bits.Load() }
+
+func (b *simBus) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for _, ep := range b.eps {
+		close(ep.ch)
+	}
+	return nil
+}
+
+// deliver hands env to ep without ever blocking: a full inbox sheds the
+// frame. Caller holds b.mu.
+func (b *simBus) deliver(ep *simEndpoint, env transport.Env) {
+	select {
+	case ep.ch <- env:
+	default:
+		if b.shed != nil {
+			b.shed.Add(1)
+		}
+	}
+}
+
+// broadcast fans frame out to every endpoint but the sender. For x-packet
+// data frames, per-receiver delivery follows the Delivered coin; control
+// frames and non-x data are delivered to everyone.
+func (b *simBus) broadcast(from int, frame []byte, reliable bool) error {
+	var round, seq int
+	isX := false
+	if !reliable {
+		if m, err := wire.Unmarshal(frame); err == nil {
+			if xp, ok := m.(*wire.XPacket); ok {
+				isX = true
+				round = int(xp.Header.Round)
+				seq = int(xp.Seq)
+			}
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return transport.ErrClosed
+	}
+	b.bits.Add(int64(len(frame)) * 8)
+	env := transport.Env{From: from, Reliable: reliable, Frame: frame}
+	for id, ep := range b.eps {
+		if id == from {
+			continue
+		}
+		if isX && !Delivered(b.blockSeed, round, seq, id, b.erasure) {
+			continue
+		}
+		b.deliver(ep, env)
+	}
+	return nil
+}
+
+func (e *simEndpoint) ID() int { return e.id }
+
+func (e *simEndpoint) SendData(frame []byte) error {
+	return e.bus.broadcast(e.id, frame, false)
+}
+
+func (e *simEndpoint) SendCtrl(frame []byte) error {
+	return e.bus.broadcast(e.id, frame, true)
+}
+
+func (e *simEndpoint) Recv() <-chan transport.Env { return e.ch }
+
+func (e *simEndpoint) Close() error { return nil }

@@ -1,0 +1,90 @@
+package keystream
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamSoak: 64 concurrent readers — sequential drainers and
+// random-access rangers — hammer one stream while one group member runs
+// 10x slower than the report deadline. Every byte every reader sees must
+// match the reference derivation, and teardown must leak nothing.
+// Gated behind THINAIR_SOAK=1 (the CI soak job) and skipped under
+// -short.
+func TestStreamSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping stream soak in -short mode")
+	}
+	if os.Getenv("THINAIR_SOAK") != "1" {
+		t.Skip("set THINAIR_SOAK=1 to run the stream soak")
+	}
+
+	cfg := stallCfg(60606)
+	const nblocks = 32
+	want := readRef(t, cfg, nblocks)
+
+	before := runtime.NumGoroutine()
+	fl := newInjectorFleet()
+	fl.slowMember(1, 10*cfg.AckWait)
+	run := cfg
+	run.NewBus = fl.newBus(cfg.Erasure)
+	s, err := New(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for trial := 0; trial < 24; trial++ {
+				off := rng.Int63n(int64(len(want) - 1))
+				n := 1 + rng.Intn(min(len(want)-int(off), 3*cfg.BlockSize))
+				got := make([]byte, n)
+				if _, err := s.ReadAt(got, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, want[off:int(off)+n]) {
+					errs <- fmt.Errorf("soak reader diverged from reference at (%d, %d)", off, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.VerifyMismatch != 0 {
+		// A merely-slow member still receives every frame; only a stalled
+		// one diverges from the schedule.
+		t.Fatalf("slow (not stalled) member caused verify mismatches: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for runtime.NumGoroutine() > before+3 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+3 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutines leaked after soak: %d before, %d after\n%s", before, g, buf[:n])
+	}
+	t.Logf("soak stats: %+v", st)
+}

@@ -20,10 +20,19 @@ import (
 //	GET    /v1/sessions/{id}         one session's snapshot
 //	DELETE /v1/sessions/{id}         gracefully close a session
 //	POST   /v1/sessions/{id}/draw    draw ?bytes=N of key material (hex JSON)
+//	GET    /v1/sessions/{id}/stream  read ?offset=&len= of raw key material
 //
 // Drawn keys leave the pool permanently (never reused); the draw endpoint
 // exists for the loopback demo deployments this repo ships — a production
 // deployment would keep keys on-box and hand out references.
+//
+// The stream endpoint is the bulk surface: a chunked
+// application/octet-stream body of exactly len bytes. On stream-fed
+// sessions it addresses the deterministic keystream by offset (repeatable,
+// non-consuming — pad consumers own offset non-reuse); on UDP/observed/
+// authenticated sessions it falls back to a consuming bulk pool draw via
+// the single-lock DrawN path, and only offset=0 is accepted (a pool pop
+// has no address space).
 func (sv *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -105,7 +114,77 @@ func (sv *Service) Handler() http.Handler {
 			"key":     hex.EncodeToString(key),
 		})
 	})
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := sv.sessionFromPath(w, r)
+		if !ok {
+			return
+		}
+		off, n, ok := httpapi.StreamRange(w, r)
+		if !ok {
+			return
+		}
+		sv.serveStream(w, r, s, off, n)
+	})
 	return mux
+}
+
+// streamChunk is the copy unit for the chunked stream body: large enough
+// to amortize the chunked-encoding and flush overhead, small enough that
+// time-to-first-byte stays a single block derivation.
+const streamChunk = 64 << 10
+
+// serveStream writes key-material bytes [off, off+n) as a chunked
+// octet-stream body, flushing as blocks derive so the client's
+// time-to-first-byte tracks the pipeline, not the whole range.
+func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Session, off, n int64) {
+	src, err := s.StreamRange(off, n)
+	if errors.Is(err, ErrNoStream) {
+		// Fallback path: consuming bulk draw through keypool.DrawN.
+		if off != 0 {
+			httpError(w, http.StatusBadRequest,
+				errors.New("service: offsets are only addressable on stream-fed sessions"))
+			return
+		}
+		key, derr := s.DrawBulk(int(n))
+		if derr != nil {
+			status := http.StatusConflict
+			if errors.Is(derr, keypool.ErrClosed) {
+				status = http.StatusGone
+			}
+			httpError(w, status, derr)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(key)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusGone, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, streamChunk)
+	for {
+		m, rerr := src.Read(buf)
+		if m > 0 {
+			if _, werr := w.Write(buf[:m]); werr != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return // io.EOF at range end, or stream closed mid-read
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+	}
 }
 
 func (sv *Service) sessionFromPath(w http.ResponseWriter, r *http.Request) (*Session, bool) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/keypool"
+	"repro/internal/keystream"
 )
 
 // SessionMetrics is a point-in-time snapshot of one session's telemetry.
@@ -29,6 +30,10 @@ type SessionMetrics struct {
 	SecretBytes int64 `json:"secret_bytes"`
 
 	Pool keypool.Stats `json:"pool"`
+
+	// Stream is the keystream snapshot for stream-fed sessions (nil for
+	// UDP/observed/authenticated sessions on the lockstep refresh path).
+	Stream *keystream.Stats `json:"stream,omitempty"`
 
 	// Eve-bound estimate from the wire-level observer, when attached:
 	// the paper's reliability metric over everything Eve overheard.
@@ -60,6 +65,10 @@ func (s *Session) Metrics() SessionMetrics {
 		Pool:          s.pool.Stats(),
 	}
 	s.snapMu.RUnlock()
+	if str := s.Stream(); str != nil {
+		st := str.Stats()
+		m.Stream = &st
+	}
 	if sd, ud, ok := s.eveCertificate(); ok {
 		m.EveSecretDims, m.EveUnknownDims = sd, ud
 		if sd > 0 {
@@ -157,6 +166,19 @@ func (m ServiceMetrics) WriteProm(w io.Writer) {
 		}
 		return 0
 	}))
+	streamStat := func(f func(keystream.Stats) float64) func(SessionMetrics) (float64, bool) {
+		return func(s SessionMetrics) (float64, bool) {
+			if s.Stream == nil {
+				return 0, false
+			}
+			return f(*s.Stream), true
+		}
+	}
+	emit("thinaird_session_stream_blocks_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.Blocks) }))
+	emit("thinaird_session_stream_block_errors_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.BlockErrors) }))
+	emit("thinaird_session_stream_bytes_read_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.BytesRead) }))
+	emit("thinaird_session_stream_verify_mismatch_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.VerifyMismatch) }))
+	emit("thinaird_session_stream_shed_frames_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.ShedFrames) }))
 	emit("thinaird_session_eve_reliability", "gauge", func(s SessionMetrics) (float64, bool) {
 		if s.EveSecretDims == 0 || math.IsNaN(s.EveReliability) {
 			return 0, false

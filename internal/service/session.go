@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/keypool"
+	"repro/internal/keystream"
 	"repro/internal/radio"
 	"repro/internal/sweep"
 	"repro/internal/transport"
@@ -51,6 +53,14 @@ type SessionSpec struct {
 	Observe bool
 	// Timeout bounds each protocol wait inside a node (default 10s).
 	Timeout time.Duration
+	// StreamBlock is the keystream block size (bytes) for stream-fed
+	// sessions (default 4096, scaled down to TargetDepth for shallow
+	// pools). In-process sessions without an observer or
+	// an auth chain are fed by an internal/keystream Stream — the pool
+	// becomes one sequential consumer of it, and the random-access
+	// /stream surface (Session.StreamRange) opens up; UDP, observed and
+	// authenticated sessions keep the lockstep engine refresh path.
+	StreamBlock int
 }
 
 func (sp *SessionSpec) fill() error {
@@ -71,6 +81,23 @@ func (sp *SessionSpec) fill() error {
 	}
 	if sp.Timeout == 0 {
 		sp.Timeout = 10 * time.Second
+	}
+	if sp.StreamBlock == 0 {
+		// The block is the derivation quantum: a shallow pool must not pay
+		// a multi-hundred-round block derivation to serve a few-hundred-byte
+		// refill, so the default scales down to the pool depth. Kept a pure
+		// function of the spec: a session re-derived from its spec on
+		// another worker picks the same block size, hence the same bytes.
+		sp.StreamBlock = 4096
+		if sp.TargetDepth < sp.StreamBlock {
+			sp.StreamBlock = sp.TargetDepth
+		}
+		if sp.StreamBlock < sp.PayloadBytes {
+			sp.StreamBlock = sp.PayloadBytes
+		}
+	}
+	if sp.StreamBlock < 0 {
+		return fmt.Errorf("service: stream block %d", sp.StreamBlock)
 	}
 	if sp.Erasure < 0 || sp.Erasure >= 1 {
 		return fmt.Errorf("service: erasure %v outside [0, 1)", sp.Erasure)
@@ -168,6 +195,14 @@ type Session struct {
 
 	obsMu sync.Mutex
 	obs   *transport.Observer
+
+	// strMu guards str, the keystream feeding a stream-fed session. It is
+	// non-nil only while run() is live; readers (HTTP /stream, Metrics)
+	// take the pointer under the lock and then use it lock-free — a
+	// concurrent teardown closes the Stream, which wakes them with
+	// keystream.ErrClosed instead of leaving them blocked.
+	strMu sync.RWMutex
+	str   *keystream.Stream
 }
 
 func newSession(svc *Service, id uint32, spec SessionSpec) *Session {
@@ -199,6 +234,76 @@ func (s *Session) Pool() *keypool.Pool { return s.pool }
 // rounds inline: a short pool fails fast with keypool.ErrExhausted while
 // the background refresher catches up.
 func (s *Session) Draw(n int) ([]byte, error) { return s.pool.Draw(n) }
+
+// ErrNoStream marks a session without a random-access keystream (UDP,
+// observed or authenticated sessions use the lockstep refresh engine;
+// their key material is pool-draw only).
+var ErrNoStream = errors.New("service: session has no keystream")
+
+// StreamFed reports whether this session's pool is fed by a keystream
+// (and so Stream/StreamRange work on it).
+func (s *Session) StreamFed() bool {
+	return !s.spec.UDP && !s.spec.Observe && len(s.spec.AuthBootstrap) == 0
+}
+
+// Stream returns the session's keystream, or nil when the session is not
+// stream-fed (or not running).
+func (s *Session) Stream() *keystream.Stream {
+	s.strMu.RLock()
+	defer s.strMu.RUnlock()
+	return s.str
+}
+
+// StreamRange returns a reader over key-material bytes [off, off+n) —
+// the non-consuming, randomly addressable surface. Offsets address the
+// session's deterministic keystream: reading a range twice returns the
+// same bytes, and one-time-pad users own offset non-reuse.
+func (s *Session) StreamRange(off, n int64) (io.Reader, error) {
+	str := s.Stream()
+	if str == nil {
+		if !s.StreamFed() {
+			return nil, ErrNoStream
+		}
+		return nil, keystream.ErrClosed
+	}
+	return str.RangeReader(off, n), nil
+}
+
+// DrawBulk dispenses n bytes through the pool's single-lock bulk path —
+// the fallback for bulk reads on sessions without a keystream, replacing
+// what used to be n/PayloadBytes individual lock round-trips. Like Draw,
+// it consumes: the returned bytes leave the pool.
+func (s *Session) DrawBulk(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("service: negative bulk draw %d", n)
+	}
+	size := s.spec.PayloadBytes
+	k, rem := n/size, n%size
+	out := make([]byte, 0, n)
+	keys, err := s.pool.DrawN(k, size)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		out = append(out, key...)
+		zeroBytes(key)
+	}
+	if rem > 0 {
+		tail, err := s.pool.Draw(rem)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tail...)
+		zeroBytes(tail)
+	}
+	return out, nil
+}
+
+func zeroBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
 
 // WaitReady blocks until the pool has been filled to its target depth
 // for the first time, the session fails or closes, or the context
@@ -296,6 +401,11 @@ func (s *Session) run() {
 		return
 	}
 
+	if s.StreamFed() {
+		s.runStream()
+		return
+	}
+
 	// The observer goroutine only exits once the bus is down (its Recv
 	// channel closes), so the wait must be registered BEFORE bus.Close:
 	// defers run last-in-first-out.
@@ -389,6 +499,89 @@ func (s *Session) run() {
 		case <-low:
 		}
 	}
+}
+
+// runStream is the stream-fed session body: a keystream.Stream derives
+// blocks through the pipelined engine, and the pool becomes its first
+// sequential consumer — every pool draw returns a prefix-exact slice of
+// the same deterministic stream that StreamRange addresses by offset.
+func (s *Session) runStream() {
+	str, err := keystream.New(keystream.Config{
+		Terminals:    s.spec.Terminals,
+		XPerRound:    s.spec.XPerRound,
+		PayloadBytes: s.spec.PayloadBytes,
+		Erasure:      s.spec.Erasure,
+		Seed:         s.spec.Seed,
+		Rotate:       s.spec.Rotate,
+		BlockSize:    s.spec.StreamBlock,
+		Timeout:      s.spec.Timeout,
+	})
+	if err != nil {
+		s.setErr(err)
+		s.state.Store(int32(StateFailed))
+		return
+	}
+	s.strMu.Lock()
+	s.str = str
+	s.strMu.Unlock()
+	defer func() {
+		s.strMu.Lock()
+		s.str = nil
+		s.strMu.Unlock()
+		str.Close() // wakes any in-flight StreamRange reader with ErrClosed
+	}()
+
+	s.pool.SetLowWater(s.spec.LowWater)
+	low := s.pool.LowWaterSignal()
+	buf := make([]byte, str.BlockSize())
+	consecFail := 0
+	for {
+		for s.pool.Available() < s.spec.TargetDepth {
+			if s.stopRequested() {
+				return
+			}
+			if err := s.refreshFromStream(str, buf); err != nil {
+				if s.ctx.Err() != nil {
+					return
+				}
+				s.refreshEr.Add(1)
+				s.setErr(err)
+				consecFail++
+				if consecFail >= maxRefreshFailures {
+					s.state.Store(int32(StateFailed))
+					return
+				}
+				continue
+			}
+			consecFail = 0
+		}
+		s.readyOnce.Do(func() { close(s.ready) })
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.closing:
+			return
+		case <-low:
+		}
+	}
+}
+
+// refreshFromStream deposits the next sequential stream block into the
+// pool. A failed block derivation (dead channel, timeout) surfaces here
+// and counts against the session's failure limit, exactly like a failed
+// lockstep refresh batch.
+func (s *Session) refreshFromStream(str *keystream.Stream, buf []byte) error {
+	s.refreshes.Add(1)
+	if _, err := io.ReadFull(str, buf); err != nil {
+		return err
+	}
+	s.pool.Deposit(buf)
+	s.secretOut.Add(int64(len(buf)))
+	zeroBytes(buf) // the pool holds the only live copy now
+	st := str.Stats()
+	s.rounds.Store(st.Rounds)
+	s.prodRound.Store(st.Productive)
+	return nil
 }
 
 // refresh runs one batch of protocol rounds on the session's endpoints
