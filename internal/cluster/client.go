@@ -84,20 +84,23 @@ func (c *WorkerClient) do(ctx context.Context, method, path string, body, out an
 	return nil
 }
 
-// doRaw performs one RPC whose success body is raw bytes rather than
-// JSON (the stream endpoint). Error responses still carry the JSON
-// envelope and map to the same typed errors as do.
-func (c *WorkerClient) doRaw(ctx context.Context, method, path string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, nil)
+// doStream performs one RPC whose success body is raw bytes rather than
+// JSON (the stream endpoint), copying the n-byte body into w without
+// materializing it. Error responses still carry the JSON envelope and
+// map to the same typed errors as do; nothing is written to w on them.
+// A body shorter than n (the worker aborted mid-range) surfaces as an
+// error, never as a silent short read.
+func (c *WorkerClient) doStream(ctx context.Context, path string, n int64, w io.Writer) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("cluster: worker rpc: %w", ctx.Err())
+			return 0, fmt.Errorf("cluster: worker rpc: %w", ctx.Err())
 		}
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return 0, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -106,9 +109,19 @@ func (c *WorkerClient) doRaw(ctx context.Context, method, path string) ([]byte, 
 	if resp.StatusCode >= 400 {
 		var eb errorBody
 		_ = json.NewDecoder(resp.Body).Decode(&eb)
-		return nil, rpcError(resp.StatusCode, eb)
+		return 0, rpcError(resp.StatusCode, eb)
 	}
-	return io.ReadAll(resp.Body)
+	written, err := io.Copy(w, io.LimitReader(resp.Body, n))
+	if err != nil {
+		if ctx.Err() != nil {
+			return written, fmt.Errorf("cluster: worker rpc: %w", ctx.Err())
+		}
+		return written, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	if written < n {
+		return written, fmt.Errorf("%w: stream truncated at %d/%d bytes", ErrUnreachable, written, n)
+	}
+	return written, nil
 }
 
 // rpcError maps a worker error response back to the typed error the
@@ -179,11 +192,26 @@ func (c *WorkerClient) Draw(ctx context.Context, cid uint64, n int) ([]byte, err
 	return hex.DecodeString(dr.Key)
 }
 
+// StreamRangeTo streams key-material bytes [off, off+n) from a cluster
+// session into w as the worker produces them (the coordinator's routed
+// /stream body passes through here without being buffered). It returns
+// the bytes written: 0 with a typed error when the worker rejected the
+// request, possibly short with an error on a mid-body failure.
+func (c *WorkerClient) StreamRangeTo(ctx context.Context, cid uint64, off, n int64, w io.Writer) (int64, error) {
+	return c.doStream(ctx,
+		fmt.Sprintf("/ctl/sessions/%d/stream?offset=%d&len=%d", cid, off, n), n, w)
+}
+
 // StreamRange reads key-material bytes [off, off+n) from a cluster
-// session (the worker's bulk stream surface).
+// session, materialized — the programmatic convenience over
+// StreamRangeTo.
 func (c *WorkerClient) StreamRange(ctx context.Context, cid uint64, off, n int64) ([]byte, error) {
-	return c.doRaw(ctx, http.MethodGet,
-		fmt.Sprintf("/ctl/sessions/%d/stream?offset=%d&len=%d", cid, off, n))
+	var buf bytes.Buffer
+	buf.Grow(int(n))
+	if _, err := c.StreamRangeTo(ctx, cid, off, n, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Drain asks the worker to drain every session and zeroize every pool.

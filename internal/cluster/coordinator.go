@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"sort"
 	"sync"
@@ -644,6 +645,21 @@ func (c *Coordinator) StreamRange(ctx context.Context, cid uint64, off, n int64)
 	return c.routeKeyRead(cid, func(client *WorkerClient) ([]byte, error) {
 		return client.StreamRange(ctx, cid, off, n)
 	})
+}
+
+// StreamRangeTo routes a bulk stream-range read like StreamRange but
+// pipes the worker's body into w as it arrives, so the coordinator never
+// holds the range in memory (the routed HTTP handler's path). Returns the
+// bytes written: 0 when the worker rejected the read, possibly short with
+// an error when the body failed mid-stream.
+func (c *Coordinator) StreamRangeTo(ctx context.Context, cid uint64, off, n int64, w io.Writer) (int64, error) {
+	var written int64
+	_, err := c.routeKeyRead(cid, func(client *WorkerClient) ([]byte, error) {
+		var cerr error
+		written, cerr = client.StreamRangeTo(ctx, cid, off, n, w)
+		return nil, cerr
+	})
+	return written, err
 }
 
 // routeKeyRead resolves a session's owner and runs one key-material RPC

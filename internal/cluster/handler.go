@@ -119,15 +119,47 @@ func (c *Coordinator) Handler() http.Handler {
 		if !ok {
 			return
 		}
-		key, err := c.StreamRange(r.Context(), cid, off, n)
-		if err != nil {
-			writeDrawError(w, err)
+		// The worker body passes straight through — never buffered at the
+		// coordinator. Success headers are written lazily on the first
+		// body byte, so a pre-body RPC rejection still gets the JSON
+		// error envelope; a mid-body failure leaves the declared
+		// Content-Length unsatisfied and aborts the connection instead of
+		// terminating a valid-looking short body.
+		sw := &passthroughWriter{w: w, n: n}
+		if _, err := c.StreamRangeTo(r.Context(), cid, off, n, sw); err != nil {
+			if !sw.wrote {
+				writeDrawError(w, err)
+			}
 			return
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(key)
 	})
 	return mux
+}
+
+// passthroughWriter defers a stream response's success headers to the
+// first body byte and flushes each chunk, so routed stream reads keep
+// the worker's time-to-first-byte while pre-body errors can still use
+// the JSON envelope.
+type passthroughWriter struct {
+	w     http.ResponseWriter
+	n     int64
+	wrote bool
+}
+
+func (pw *passthroughWriter) Write(p []byte) (int, error) {
+	if !pw.wrote {
+		pw.wrote = true
+		pw.w.Header().Set("Content-Type", "application/octet-stream")
+		pw.w.Header().Set("Content-Length", strconv.FormatInt(pw.n, 10))
+		pw.w.WriteHeader(http.StatusOK)
+	}
+	m, err := pw.w.Write(p)
+	if err == nil {
+		if f, ok := pw.w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	return m, err
 }
 
 // WriteProm renders the cluster snapshot in the Prometheus text format,

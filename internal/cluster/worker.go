@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"encoding/json"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/service"
 )
 
@@ -160,12 +162,13 @@ func (w *Worker) Draw(cid uint64, n int) ([]byte, error) {
 // hand back the wrong bytes.
 var errPoolFedOffset = errors.New("cluster: session is pool-fed; offsets are not addressable")
 
-// StreamRead returns key-material bytes [off, off+n) from a cluster
-// session. Cluster sessions run over UDP, so they are pool-fed, not
-// stream-fed: the read is served by the single-lock bulk draw
+// streamSource resolves a cluster session's [off, off+n) key-material
+// range to a reader. Cluster sessions run over UDP, so they are pool-fed,
+// not stream-fed: the read is served by the single-lock bulk draw
 // (consuming, offset 0 only). If a directly-assigned session happens to
-// be stream-fed, the read addresses its keystream instead.
-func (w *Worker) StreamRead(cid uint64, off, n int64) ([]byte, error) {
+// be stream-fed, the read addresses its keystream instead — on demand,
+// never materializing the range worker-side.
+func (w *Worker) streamSource(cid uint64, off, n int64) (io.Reader, error) {
 	s, err := w.lookup(cid)
 	if err != nil {
 		return nil, err
@@ -175,8 +178,23 @@ func (w *Worker) StreamRead(cid uint64, off, n int64) ([]byte, error) {
 		if off != 0 {
 			return nil, fmt.Errorf("%w (session %d)", errPoolFedOffset, cid)
 		}
-		return s.DrawBulk(int(n))
+		key, derr := s.DrawBulk(int(n))
+		if derr != nil {
+			return nil, derr
+		}
+		return bytes.NewReader(key), nil
 	}
+	if err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// StreamRead returns key-material bytes [off, off+n) from a cluster
+// session, materialized — the programmatic convenience over the
+// streaming streamSource the HTTP handler uses.
+func (w *Worker) StreamRead(cid uint64, off, n int64) ([]byte, error) {
+	src, err := w.streamSource(cid, off, n)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +368,7 @@ func (w *Worker) Handler() http.Handler {
 		if !ok {
 			return
 		}
-		key, err := w.StreamRead(cid, off, n)
+		src, err := w.streamSource(cid, off, n)
 		if err != nil {
 			if errors.Is(err, errPoolFedOffset) {
 				httpError(rw, http.StatusBadRequest, "", err)
@@ -359,8 +377,10 @@ func (w *Worker) Handler() http.Handler {
 			writeDrawError(rw, err)
 			return
 		}
-		rw.Header().Set("Content-Type", "application/octet-stream")
-		rw.Write(key)
+		// Chunked copy with a declared Content-Length: the range is never
+		// buffered whole, and a mid-range failure aborts the connection
+		// instead of terminating a short body cleanly.
+		httpapi.StreamBody(rw, r, src, n)
 	})
 	return mux
 }

@@ -7,6 +7,7 @@ package httpapi
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -59,6 +60,53 @@ const (
 	// DefaultStreamBytes is the length when ?len is absent (64 KiB).
 	DefaultStreamBytes = 64 << 10
 )
+
+// StreamChunk is the copy unit for stream-range bodies: large enough to
+// amortize the per-write and flush overhead, small enough that
+// time-to-first-byte stays a single block derivation.
+const StreamChunk = 64 << 10
+
+// StreamBody writes the n-byte stream-range body from src as an
+// application/octet-stream response with Content-Length n, flushing each
+// chunk so the client's time-to-first-byte tracks the producer pipeline
+// rather than the whole range. Declaring the exact length up front is the
+// truncation guard MaxStreamBytes documents: if src fails mid-range, the
+// handler returns with the declared length unsatisfied and the server
+// aborts the connection, so the client sees an unexpected EOF — never a
+// valid-looking body shorter than it asked for. Shared by the service
+// /stream endpoint and the cluster tier's routed variant.
+func StreamBody(w http.ResponseWriter, r *http.Request, src io.Reader, n int64) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, StreamChunk)
+	var written int64
+	for written < n {
+		c := buf
+		if rem := n - written; rem < int64(len(c)) {
+			c = c[:rem]
+		}
+		m, rerr := src.Read(c)
+		if m > 0 {
+			written += int64(m)
+			if _, werr := w.Write(c[:m]); werr != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return // early io.EOF or source failure: abort, loudly short
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+	}
+}
 
 // StreamRange parses the ?offset=&len= query of a stream-range read
 // (offset defaults to 0, len to DefaultStreamBytes, capped at

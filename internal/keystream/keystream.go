@@ -408,6 +408,11 @@ func (s *Stream) acquire(idx int64) (*blockState, error) {
 func (s *Stream) release(bs *blockState) {
 	s.mu.Lock()
 	bs.demand--
+	if s.closed && bs.demand == 0 {
+		// Close skipped this block because a reader was still copying from
+		// it; the last release zeroizes on its behalf.
+		zero(bs.data)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -479,7 +484,13 @@ func (s *Stream) Close() error {
 	}
 	s.closed = true
 	for idx, bs := range s.blocks {
-		zero(bs.data)
+		// A reader with the block acquired (demand > 0) copies from
+		// bs.data outside mu; zeroizing under it would hand that reader
+		// silently zeroed key material with a nil error. Leave held blocks
+		// to release(), which zeroizes when the last reader lets go.
+		if bs.demand == 0 {
+			zero(bs.data)
+		}
 		delete(s.blocks, idx)
 	}
 	s.cond.Broadcast()

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestConcurrentReaders: sequential and random-access readers share one
@@ -96,6 +97,69 @@ func TestConcurrentReaders(t *testing.T) {
 		if !bytes.Equal(c.b, want[c.pos:end]) {
 			t.Fatalf("sequential chunk at %d diverged from reference", c.pos)
 		}
+	}
+}
+
+// TestCloseRacingReadAtNeverZeroizes: a reader racing Close must get the
+// true key-material bytes for every position it reports read — never a
+// prefix silently zeroized under it. Close used to wipe cached block
+// buffers while ReadAt was still copying from them outside the lock;
+// held blocks (demand > 0) now defer their zeroization to release().
+// Under -race this is also the direct probe for that write-during-copy.
+func TestCloseRacingReadAtNeverZeroizes(t *testing.T) {
+	// Large blocks from the cheap GF(2^8) source widen the copy window the
+	// race has to land in.
+	const blockSize = 64 << 10
+	const nblocks = 4
+	cfg := Config{
+		Terminals: 2, XPerRound: 4, PayloadBytes: 4,
+		Seed:      77,
+		BlockSize: blockSize,
+		Source:    XOFSource8(77),
+	}
+	src := XOFSource8(77)
+	want := make([]byte, nblocks*blockSize)
+	for i := 0; i < nblocks; i++ {
+		if err := src(nil, int64(i), want[i*blockSize:(i+1)*blockSize]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 32; trial++ {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Derive everything up front so the readers below run hot on cache
+		// hits — pure acquire/copy/release — when Close lands.
+		if _, err := s.ReadAt(make([]byte, len(want)), 0); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				got := make([]byte, len(want))
+				for {
+					n, rerr := s.ReadAt(got, 0)
+					if !bytes.Equal(got[:n], want[:n]) {
+						t.Errorf("reader %d: %d reported bytes diverged from reference (zeroized under a racing Close?)", g, n)
+						return
+					}
+					if rerr != nil {
+						if !errors.Is(rerr, ErrClosed) {
+							t.Errorf("reader %d: %v", g, rerr)
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		time.Sleep(200 * time.Microsecond) // let the readers get mid-copy
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
 	}
 }
 

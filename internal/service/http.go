@@ -30,9 +30,9 @@ import (
 // application/octet-stream body of exactly len bytes. On stream-fed
 // sessions it addresses the deterministic keystream by offset (repeatable,
 // non-consuming — pad consumers own offset non-reuse); on UDP/observed/
-// authenticated sessions it falls back to a consuming bulk pool draw via
-// the single-lock DrawN path, and only offset=0 is accepted (a pool pop
-// has no address space).
+// authenticated sessions it falls back to a consuming bulk pool draw in
+// one single-lock pool operation, and only offset=0 is accepted (a pool
+// pop has no address space).
 func (sv *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -128,18 +128,16 @@ func (sv *Service) Handler() http.Handler {
 	return mux
 }
 
-// streamChunk is the copy unit for the chunked stream body: large enough
-// to amortize the chunked-encoding and flush overhead, small enough that
-// time-to-first-byte stays a single block derivation.
-const streamChunk = 64 << 10
-
-// serveStream writes key-material bytes [off, off+n) as a chunked
-// octet-stream body, flushing as blocks derive so the client's
-// time-to-first-byte tracks the pipeline, not the whole range.
+// serveStream writes key-material bytes [off, off+n) as an octet-stream
+// body of declared length n, flushing as blocks derive so the client's
+// time-to-first-byte tracks the pipeline, not the whole range. A
+// mid-range failure leaves the declared Content-Length unsatisfied and
+// aborts the connection — truncation is loud, never a valid-looking
+// short body (see httpapi.StreamBody).
 func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Session, off, n int64) {
 	src, err := s.StreamRange(off, n)
 	if errors.Is(err, ErrNoStream) {
-		// Fallback path: consuming bulk draw through keypool.DrawN.
+		// Fallback path: consuming bulk draw, one pool operation.
 		if off != 0 {
 			httpError(w, http.StatusBadRequest,
 				errors.New("service: offsets are only addressable on stream-fed sessions"))
@@ -155,6 +153,7 @@ func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Sessio
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(key)))
 		w.Write(key)
 		return
 	}
@@ -162,29 +161,7 @@ func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Sessio
 		httpError(w, http.StatusGone, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	buf := make([]byte, streamChunk)
-	for {
-		m, rerr := src.Read(buf)
-		if m > 0 {
-			if _, werr := w.Write(buf[:m]); werr != nil {
-				return // client went away
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-		if rerr != nil {
-			return // io.EOF at range end, or stream closed mid-read
-		}
-		select {
-		case <-r.Context().Done():
-			return
-		default:
-		}
-	}
+	httpapi.StreamBody(w, r, src, n)
 }
 
 func (sv *Service) sessionFromPath(w http.ResponseWriter, r *http.Request) (*Session, bool) {

@@ -271,32 +271,16 @@ func (s *Session) StreamRange(off, n int64) (io.Reader, error) {
 
 // DrawBulk dispenses n bytes through the pool's single-lock bulk path —
 // the fallback for bulk reads on sessions without a keystream, replacing
-// what used to be n/PayloadBytes individual lock round-trips. Like Draw,
-// it consumes: the returned bytes leave the pool.
+// what used to be n/PayloadBytes individual lock round-trips. The draw is
+// one pool operation, so it is all-or-nothing: a short pool fails without
+// consuming anything (a partial draw would discard irreplaceable key
+// material). Like Draw, success consumes: the returned bytes leave the
+// pool. Consumers wanting per-key slices use keypool.DrawN directly.
 func (s *Session) DrawBulk(n int) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("service: negative bulk draw %d", n)
 	}
-	size := s.spec.PayloadBytes
-	k, rem := n/size, n%size
-	out := make([]byte, 0, n)
-	keys, err := s.pool.DrawN(k, size)
-	if err != nil {
-		return nil, err
-	}
-	for _, key := range keys {
-		out = append(out, key...)
-		zeroBytes(key)
-	}
-	if rem > 0 {
-		tail, err := s.pool.Draw(rem)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tail...)
-		zeroBytes(tail)
-	}
-	return out, nil
+	return s.pool.Draw(n)
 }
 
 func zeroBytes(b []byte) {
