@@ -14,6 +14,7 @@
 //	thinair-bench -all -quick
 //	thinair-bench -gf-json BENCH_gf.json           # GF kernel matrix as JSON
 //	thinair-bench -stream-json BENCH_stream.json   # bulk stream vs per-draw HTTP
+//	thinair-bench -obs-json BENCH_obs.json         # instrumented vs stripped draw path
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation: estimators, allocation, interference, rotation, selfjam, burstiness, cancelling-eve")
 		gfJSON   = flag.String("gf-json", "", "run the GF kernel benchmark matrix and write the results as JSON to this file")
 		strJSON  = flag.String("stream-json", "", "run the bulk-stream vs per-draw HTTP benchmark and write the results as JSON to this file")
+		obsJSON  = flag.String("obs-json", "", "run the observability overhead benchmark and write the results as JSON to this file")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "subsample placements for a fast run")
 		seed     = flag.Int64("seed", 11, "experiment seed")
@@ -53,6 +55,10 @@ func main() {
 	if *strJSON != "" {
 		ran = true
 		streamBench(*strJSON)
+	}
+	if *obsJSON != "" {
+		ran = true
+		obsBench(*obsJSON)
 	}
 	if *all || *figure == 1 {
 		ran = true

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // runCoordinator is `thinaird coordinator`: it spawns and supervises a
@@ -29,8 +30,12 @@ func runCoordinator(args []string) {
 		backoff  = fs.Duration("respawn-backoff", 200*time.Millisecond, "pause before replacing a dead worker")
 		drain    = fs.Duration("drain", 15*time.Second, "graceful drain window per worker")
 		bin      = fs.String("worker-bin", "", "worker executable (default: this binary)")
+		dbg      = fs.String("debug-addr", "", "serve pprof + /debug/trace + /metrics on this extra address")
 	)
 	_ = fs.Parse(args)
+	if *dbg != "" {
+		defer enableDebug(*dbg, obs.Default(), obs.DefaultSpans())()
+	}
 
 	c, err := cluster.New(cluster.Config{
 		Workers:         *workers,
@@ -89,10 +94,17 @@ func runWorker(args []string) {
 		drain      = fs.Duration("drain", 10*time.Second, "graceful drain window per session")
 		slot       = fs.Int("slot", 0, "coordinator slot index (labels logs)")
 		supervised = fs.Bool("supervised", false, "exit when the parent process goes away")
+		dbg        = fs.String("debug-addr", "", "serve pprof + /debug/trace + /metrics on this extra address")
 	)
 	_ = fs.Parse(args)
 
 	w := cluster.NewWorker(cluster.WorkerConfig{Capacity: *capacity, DrainTimeout: *drain})
+	if *dbg != "" {
+		// The worker's registry is private (the coordinator merges it
+		// into the fleet view), so the debug surface must use the same
+		// instance rather than the process default.
+		defer enableDebug(*dbg, w.Obs(), w.Spans())()
+	}
 	ln, err := net.Listen("tcp", *ctl)
 	fatal(err)
 	srv := &http.Server{Handler: w.Handler()}

@@ -25,6 +25,13 @@
 //
 // The client-mode flags work against a coordinator too — the tiers share
 // the /v1/sessions API shape.
+//
+// Observability: every mode takes -debug-addr to mount pprof,
+// /debug/trace and /metrics on a separate listener, and `thinaird
+// trace` renders a span's edge → worker → engine chain:
+//
+//	thinaird -addr :9309 -debug-addr 127.0.0.1:6060
+//	thinaird trace -connect http://localhost:9309 -span 01ab23cd45ef6789
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -52,6 +60,9 @@ func main() {
 		case "worker":
 			runWorker(os.Args[2:])
 			return
+		case "trace":
+			runTrace(os.Args[2:])
+			return
 		}
 	}
 	var (
@@ -61,6 +72,7 @@ func main() {
 		maxQueued   = flag.Int("max-queued", 64, "bound on sessions waiting for a slot")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 		sessions    = flag.Int("sessions", 0, "number of sessions to pre-create at startup")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof + /debug/trace + /metrics on this extra address")
 
 		// Session parameters (pre-created sessions and -create).
 		n       = flag.Int("n", 3, "terminals per group")
@@ -91,6 +103,11 @@ func main() {
 	if *connect != "" {
 		runClient(*connect, spec, *list, *create, *draw, *drawLen, *closeID)
 		return
+	}
+	if *debugAddr != "" {
+		// Serve mode's service.New defaults to the process-wide registry
+		// and span ring, so the debug surface sees the same instruments.
+		defer enableDebug(*debugAddr, obs.Default(), obs.DefaultSpans())()
 	}
 	runServe(*addr, service.Config{
 		MaxSessions: *maxSessions, MaxQueued: *maxQueued, DrainTimeout: *drain,

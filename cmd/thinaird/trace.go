@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runTrace is `thinaird trace`: it fetches span events from a daemon or
+// coordinator /debug/trace endpoint and renders them as a causal chain,
+// one line per event, offsets relative to the span's first event.
+//
+//	thinaird trace -connect http://localhost:9309                 # recent events
+//	thinaird trace -connect http://localhost:9309 -span 01ab...   # one span's chain
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("thinaird trace", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "http://localhost:9309", "daemon or coordinator base URL")
+		span    = fs.String("span", "", "span ID to filter on (default: recent events)")
+		n       = fs.Int("n", 64, "events to fetch when unfiltered")
+	)
+	_ = fs.Parse(args)
+
+	url := fmt.Sprintf("%s/debug/trace?n=%d", *connect, *n)
+	if *span != "" {
+		url = fmt.Sprintf("%s/debug/trace?span=%s", *connect, *span)
+	}
+	resp, err := http.Get(url)
+	fatal(err)
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	fatal(err)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("trace: %s returned %s: %s", url, resp.Status, strings.TrimSpace(string(raw))))
+	}
+	var events []obs.SpanEvent
+	fatal(json.Unmarshal(raw, &events))
+	if len(events) == 0 {
+		fmt.Println("trace: no events")
+		return
+	}
+	fmt.Print(renderTrace(events))
+}
+
+// renderTrace groups events by span (chronological within each span)
+// and prints offsets relative to the span's first event, so one draw
+// reads as its edge → worker → engine chain.
+func renderTrace(events []obs.SpanEvent) string {
+	bySpan := make(map[string][]obs.SpanEvent)
+	var order []string
+	for _, e := range events {
+		if _, seen := bySpan[e.Span]; !seen {
+			order = append(order, e.Span)
+		}
+		bySpan[e.Span] = append(bySpan[e.Span], e)
+	}
+	// Oldest span first, by its earliest event.
+	sort.SliceStable(order, func(i, j int) bool {
+		return earliest(bySpan[order[i]]).Before(earliest(bySpan[order[j]]))
+	})
+
+	var b strings.Builder
+	for _, id := range order {
+		evs := bySpan[id]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+		t0 := evs[0].Time
+		fmt.Fprintf(&b, "span %s\n", id)
+		for _, e := range evs {
+			fmt.Fprintf(&b, "  %+9s  %-6s %-8s %s\n",
+				fmtOffset(e.Time.Sub(t0)), e.Tier, e.Name, fmtAttrs(e.Attrs))
+		}
+	}
+	return b.String()
+}
+
+func earliest(evs []obs.SpanEvent) time.Time {
+	t := evs[0].Time
+	for _, e := range evs[1:] {
+		if e.Time.Before(t) {
+			t = e.Time
+		}
+	}
+	return t
+}
+
+func fmtOffset(d time.Duration) string {
+	if d <= 0 {
+		return "+0µs"
+	}
+	return "+" + d.Round(time.Microsecond).String()
+}
+
+// fmtAttrs renders attributes key-sorted so output is deterministic.
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return strings.Join(parts, " ")
+}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/keypool"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -21,6 +23,7 @@ import (
 type WorkerClient struct {
 	base string
 	hc   *http.Client
+	rpc  *obs.HistogramVec // per-op RPC latency; nil when uninstrumented
 }
 
 // NewWorkerClient returns a client for the worker at base (e.g.
@@ -29,6 +32,33 @@ type WorkerClient struct {
 // cannot hang the coordinator.
 func NewWorkerClient(base string) *WorkerClient {
 	return &WorkerClient{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// WithObs attaches a registry: every RPC observes its latency into
+// thinaird_cluster_rpc_seconds{op=...}. Returns the client for chaining.
+func (c *WorkerClient) WithObs(r *obs.Registry) *WorkerClient {
+	if r != nil {
+		c.rpc = r.HistogramVec("thinaird_cluster_rpc_seconds",
+			"Coordinator-to-worker control RPC latency, by operation.",
+			obs.LatencyBuckets, "op")
+	}
+	return c
+}
+
+// observeRPC records one RPC's latency when instrumented. The span
+// header on outgoing requests (see do/doStream) is what chains a
+// coordinator-minted span into the worker's ring.
+func (c *WorkerClient) observeRPC(op string, t0 time.Time) {
+	if c.rpc != nil {
+		c.rpc.With(op).ObserveSince(t0)
+	}
+}
+
+func (c *WorkerClient) rpcStart() time.Time {
+	if c.rpc == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // URL returns the worker's control base URL.
@@ -41,7 +71,9 @@ func (c *WorkerClient) CloseIdle() { c.hc.CloseIdleConnections() }
 // do performs one RPC and decodes the JSON response into out (when
 // non-nil). Non-2xx statuses are mapped to typed errors via the body's
 // error code.
-func (c *WorkerClient) do(ctx context.Context, method, path string, body, out any) error {
+func (c *WorkerClient) do(ctx context.Context, op, method, path string, body, out any) error {
+	t0 := c.rpcStart()
+	defer c.observeRPC(op, t0)
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -56,6 +88,9 @@ func (c *WorkerClient) do(ctx context.Context, method, path string, body, out an
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if span := obs.SpanID(ctx); span != "" {
+		req.Header.Set(obs.SpanHeader, span)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -91,9 +126,14 @@ func (c *WorkerClient) do(ctx context.Context, method, path string, body, out an
 // A body shorter than n (the worker aborted mid-range) surfaces as an
 // error, never as a silent short read.
 func (c *WorkerClient) doStream(ctx context.Context, path string, n int64, w io.Writer) (int64, error) {
+	t0 := c.rpcStart()
+	defer c.observeRPC("stream", t0)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return 0, err
+	}
+	if span := obs.SpanID(ctx); span != "" {
+		req.Header.Set(obs.SpanHeader, span)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -154,39 +194,59 @@ func rpcError(status int, eb errorBody) error {
 
 // Health probes /ctl/healthz — the heartbeat.
 func (c *WorkerClient) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/ctl/healthz", nil, nil)
+	return c.do(ctx, "health", http.MethodGet, "/ctl/healthz", nil, nil)
 }
 
 // Stats fetches the worker snapshot.
 func (c *WorkerClient) Stats(ctx context.Context) (WorkerStats, error) {
 	var st WorkerStats
-	err := c.do(ctx, http.MethodGet, "/ctl/stats", nil, &st)
+	err := c.do(ctx, "stats", http.MethodGet, "/ctl/stats", nil, &st)
 	return st, err
+}
+
+// ObsSnapshot scrapes the worker's metrics registry — the coordinator's
+// fleet-merge input.
+func (c *WorkerClient) ObsSnapshot(ctx context.Context) (obs.Snapshot, error) {
+	var s obs.Snapshot
+	err := c.do(ctx, "scrape", http.MethodGet, "/ctl/metrics", nil, &s)
+	return s, err
+}
+
+// Trace fetches span events from the worker's ring; span narrows the
+// result to one span id, "" returns the most recent events.
+func (c *WorkerClient) Trace(ctx context.Context, span string) ([]obs.SpanEvent, error) {
+	path := "/ctl/trace"
+	if span != "" {
+		path += "?span=" + url.QueryEscape(span)
+	}
+	var evs []obs.SpanEvent
+	err := c.do(ctx, "trace", http.MethodGet, path, nil, &evs)
+	return evs, err
 }
 
 // Assign places a cluster session on the worker.
 func (c *WorkerClient) Assign(ctx context.Context, cid uint64, spec service.SessionSpec) (service.SessionMetrics, error) {
 	var m service.SessionMetrics
-	err := c.do(ctx, http.MethodPost, "/ctl/assign", assignRequest{ID: cid, Spec: spec}, &m)
+	err := c.do(ctx, "assign", http.MethodPost, "/ctl/assign", assignRequest{ID: cid, Spec: spec}, &m)
 	return m, err
 }
 
 // Close gracefully stops one cluster session on the worker.
 func (c *WorkerClient) Close(ctx context.Context, cid uint64) error {
-	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/ctl/sessions/%d", cid), nil, nil)
+	return c.do(ctx, "close", http.MethodDelete, fmt.Sprintf("/ctl/sessions/%d", cid), nil, nil)
 }
 
 // Metrics snapshots one cluster session on the worker.
 func (c *WorkerClient) Metrics(ctx context.Context, cid uint64) (service.SessionMetrics, error) {
 	var m service.SessionMetrics
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/ctl/sessions/%d", cid), nil, &m)
+	err := c.do(ctx, "metrics", http.MethodGet, fmt.Sprintf("/ctl/sessions/%d", cid), nil, &m)
 	return m, err
 }
 
 // Draw dispenses n bytes of key material from a cluster session.
 func (c *WorkerClient) Draw(ctx context.Context, cid uint64, n int) ([]byte, error) {
 	var dr drawResponse
-	if err := c.do(ctx, http.MethodPost, fmt.Sprintf("/ctl/sessions/%d/draw?bytes=%d", cid, n), nil, &dr); err != nil {
+	if err := c.do(ctx, "draw", http.MethodPost, fmt.Sprintf("/ctl/sessions/%d/draw?bytes=%d", cid, n), nil, &dr); err != nil {
 		return nil, err
 	}
 	return hex.DecodeString(dr.Key)
@@ -216,5 +276,5 @@ func (c *WorkerClient) StreamRange(ctx context.Context, cid uint64, off, n int64
 
 // Drain asks the worker to drain every session and zeroize every pool.
 func (c *WorkerClient) Drain(ctx context.Context) error {
-	return c.do(ctx, http.MethodPost, "/ctl/drain", nil, nil)
+	return c.do(ctx, "drain", http.MethodPost, "/ctl/drain", nil, nil)
 }

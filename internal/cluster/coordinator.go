@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/keypool"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -42,6 +43,12 @@ type Config struct {
 	// Logf receives supervision events (worker deaths, reassignments).
 	// Nil means log.Printf.
 	Logf func(format string, args ...any)
+	// Obs is the coordinator's own metrics registry (RPC latency,
+	// supervision counters). Nil means obs.Default().
+	Obs *obs.Registry
+	// Spans is the span ring edge requests are recorded to. Nil means
+	// obs.DefaultSpans().
+	Spans *obs.SpanLog
 }
 
 func (c *Config) fill() {
@@ -71,6 +78,12 @@ func (c *Config) fill() {
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
+	}
+	if c.Spans == nil {
+		c.Spans = obs.DefaultSpans()
 	}
 }
 
@@ -145,6 +158,9 @@ type Coordinator struct {
 	reassigned atomic.Int64
 	restarts   atomic.Int64
 
+	obs   *obs.Registry
+	spans *obs.SpanLog
+
 	placing atomic.Bool // a background placeOrphans pass is running
 }
 
@@ -176,7 +192,18 @@ func New(cfg Config) (*Coordinator, error) {
 		cancel:   cancel,
 		sessions: make(map[uint64]*clusterSession),
 		nextID:   1,
+		obs:      cfg.Obs,
+		spans:    cfg.Spans,
 	}
+	// Supervision counters already live as atomics for ClusterMetrics;
+	// the func collectors export the same values through the registry so
+	// the fleet merge and /metrics.json carry them too.
+	c.obs.CounterFunc("thinaird_cluster_reassignments_total",
+		"Sessions re-placed after their worker died.",
+		func() float64 { return float64(c.reassigned.Load()) })
+	c.obs.CounterFunc("thinaird_cluster_respawns_total",
+		"Worker processes respawned by supervision.",
+		func() float64 { return float64(c.restarts.Load()) })
 	for i := 0; i < cfg.Workers; i++ {
 		proc, err := cfg.Spawn(ctx, c.spawnOpts(i))
 		if err != nil {
@@ -189,7 +216,7 @@ func New(cfg Config) (*Coordinator, error) {
 		c.slots = append(c.slots, &workerSlot{
 			slot:   i,
 			proc:   proc,
-			client: NewWorkerClient(proc.URL()),
+			client: NewWorkerClient(proc.URL()).WithObs(c.obs),
 			alive:  true,
 		})
 	}
@@ -340,7 +367,7 @@ func (c *Coordinator) respawn(sl *workerSlot) bool {
 		return false
 	}
 	sl.proc = proc
-	sl.client = NewWorkerClient(proc.URL())
+	sl.client = NewWorkerClient(proc.URL()).WithObs(c.obs)
 	sl.alive = true
 	c.mu.Unlock()
 	c.cfg.Logf("cluster: worker %d respawned (pid %d)", sl.slot, proc.PID())
@@ -873,6 +900,83 @@ func (c *Coordinator) Metrics() ClusterMetrics {
 	}
 	c.mu.Unlock()
 	return m
+}
+
+// aliveClients snapshots the clients of live workers under the lock so
+// fan-out RPCs never hold c.mu across the network.
+func (c *Coordinator) aliveClients() []*WorkerClient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*WorkerClient, 0, len(c.slots))
+	for _, sl := range c.slots {
+		if sl.alive {
+			out = append(out, sl.client)
+		}
+	}
+	return out
+}
+
+// FleetSnapshot merges the coordinator's own registry with a scrape of
+// every live worker's registry into one fleet-wide view: counters and
+// gauges sum, histograms merge bucket-wise so fleet quantiles come from
+// the combined distribution rather than an average of averages. Workers
+// that fail to answer within ctx are skipped — the fleet view is
+// best-effort by design; a dead worker has no registry to scrape.
+func (c *Coordinator) FleetSnapshot(ctx context.Context) obs.Snapshot {
+	fleet := c.obs.Snapshot()
+	clients := c.aliveClients()
+	snaps := make([]obs.Snapshot, len(clients))
+	oks := make([]bool, len(clients))
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *WorkerClient) {
+			defer wg.Done()
+			snap, err := cl.ObsSnapshot(ctx)
+			if err != nil {
+				return
+			}
+			snaps[i], oks[i] = snap, true
+		}(i, cl)
+	}
+	wg.Wait()
+	for i := range snaps {
+		if oks[i] {
+			fleet.Merge(snaps[i])
+		}
+	}
+	return fleet
+}
+
+// FleetTrace merges the coordinator's span ring with every live
+// worker's, time-sorted, so one draw's record reads as a single chain
+// edge → worker → engine. span narrows to one id; "" returns recent
+// events from every tier.
+func (c *Coordinator) FleetTrace(ctx context.Context, span string) []obs.SpanEvent {
+	var evs []obs.SpanEvent
+	if span != "" {
+		evs = c.spans.Span(span)
+	} else {
+		evs = c.spans.Recent(64)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, cl := range c.aliveClients() {
+		wg.Add(1)
+		go func(cl *WorkerClient) {
+			defer wg.Done()
+			wevs, err := cl.Trace(ctx, span)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			evs = append(evs, wevs...)
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+	return evs
 }
 
 // Shutdown stops the tier: supervision halts (worker exits during

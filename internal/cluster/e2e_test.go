@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -365,6 +366,54 @@ func TestClusterE2EProcesses(t *testing.T) {
 	collectWorkerPIDs(cm, pids)
 	if len(pids) < 4 {
 		t.Fatalf("expected a fresh worker pid after the kill, saw %v", pids)
+	}
+
+	// Fleet observability after chaos: /v1/cluster/metrics merges every
+	// live worker's registry, and the coordinator runs no engine rounds
+	// itself — so the fleet total must equal the sum of direct per-worker
+	// scrapes. Background refreshers advance the counts between reads, so
+	// retry until one pass brackets the fleet scrape with two identical
+	// worker sums.
+	const roundsFamily = "thinaird_engine_round_seconds"
+	scrapeWorkers := func() (float64, bool) {
+		var sum float64
+		for _, wi := range cp.cluster(t).Workers {
+			if !wi.Alive {
+				continue
+			}
+			resp, err := http.Get(wi.URL + "/ctl/metrics")
+			if err != nil {
+				return 0, false
+			}
+			var snap obs.Snapshot
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if err != nil {
+				return 0, false
+			}
+			sum += snap.Total(roundsFamily)
+		}
+		return sum, true
+	}
+	var fleet obs.Snapshot
+	waitFor(t, 60*time.Second, "fleet metrics to equal the worker sum", func() bool {
+		before, ok := scrapeWorkers()
+		if !ok || before == 0 {
+			return false
+		}
+		fleet = obs.Snapshot{}
+		if cp.getJSON("/v1/cluster/metrics", &fleet) != http.StatusOK {
+			return false
+		}
+		after, ok := scrapeWorkers()
+		return ok && after == before && fleet.Total(roundsFamily) == before
+	})
+	rf := fleet.Family(roundsFamily)
+	if rf == nil || len(rf.Series) == 0 || rf.Series[0].Hist == nil {
+		t.Fatalf("fleet view lacks the merged %s histogram", roundsFamily)
+	}
+	if h := rf.Series[0].Hist; h.Count == 0 || h.P99 <= 0 {
+		t.Fatalf("merged fleet histogram missing quantiles: count=%d p99=%g", h.Count, h.P99)
 	}
 
 	cp.shutdownAndCheckOrphans(t, pids)

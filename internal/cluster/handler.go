@@ -4,11 +4,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -18,13 +18,20 @@ import (
 //
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus text exposition
+//	GET    /debug/trace              fleet span events (?span= narrows)
 //	GET    /v1/cluster               workers + tier counters (JSON)
+//	GET    /v1/cluster/metrics       fleet-merged registry snapshot
 //	GET    /v1/sessions              cluster sessions with live metrics
 //	POST   /v1/sessions              create from a SessionSpec body
 //	GET    /v1/sessions/{id}         one session's info + metrics
 //	DELETE /v1/sessions/{id}         close tier-wide
 //	POST   /v1/sessions/{id}/draw    draw ?bytes=N of key material
 //	GET    /v1/sessions/{id}/stream  bulk ?offset=&len= key material
+//
+// Draw and stream requests are span roots: the edge mints (or passes
+// through) an X-Thinair-Span id, echoes it on the response, and the
+// routed worker RPC carries it so /debug/trace?span= shows the whole
+// edge → worker → engine chain.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -38,9 +45,23 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		c.Metrics().WriteProm(w)
+		_ = c.obs.Snapshot().WriteProm(w)
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		evs := c.FleetTrace(r.Context(), r.URL.Query().Get("span"))
+		writeJSON(w, http.StatusOK, evs)
 	})
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Metrics())
+	})
+	mux.HandleFunc("GET /v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fleet := c.FleetSnapshot(r.Context())
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = fleet.WriteProm(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleet)
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Sessions(r.Context()))
@@ -101,10 +122,25 @@ func (c *Coordinator) Handler() http.Handler {
 		if !ok {
 			return
 		}
-		key, err := c.Draw(r.Context(), cid, n)
+		ctx := r.Context()
+		var span string
+		if c.obs.Enabled() {
+			// The coordinator edge always echoes the span — a routed draw
+			// costs two RPC hops, so the header is free here and lets any
+			// caller fetch the edge→worker→engine chain afterwards.
+			span = obs.EnsureSpan(w, r)
+			w.Header().Set(obs.SpanHeader, span)
+			ctx = obs.WithSpan(ctx, span)
+		}
+		key, err := c.Draw(ctx, cid, n)
 		if err != nil {
 			writeDrawError(w, err)
 			return
+		}
+		if span != "" {
+			c.spans.RecordKV(span, "edge", "draw",
+				"cluster_session", strconv.FormatUint(cid, 10),
+				"bytes", strconv.Itoa(n))
 		}
 		writeJSON(w, http.StatusOK, drawResponse{
 			Session: cid, Bytes: n, Key: hex.EncodeToString(key),
@@ -119,6 +155,13 @@ func (c *Coordinator) Handler() http.Handler {
 		if !ok {
 			return
 		}
+		ctx := r.Context()
+		var span string
+		if c.obs.Enabled() {
+			span = obs.EnsureSpan(w, r)
+			w.Header().Set(obs.SpanHeader, span)
+			ctx = obs.WithSpan(ctx, span)
+		}
 		// The worker body passes straight through — never buffered at the
 		// coordinator. Success headers are written lazily on the first
 		// body byte, so a pre-body RPC rejection still gets the JSON
@@ -126,11 +169,17 @@ func (c *Coordinator) Handler() http.Handler {
 		// Content-Length unsatisfied and aborts the connection instead of
 		// terminating a valid-looking short body.
 		sw := &passthroughWriter{w: w, n: n}
-		if _, err := c.StreamRangeTo(r.Context(), cid, off, n, sw); err != nil {
+		if _, err := c.StreamRangeTo(ctx, cid, off, n, sw); err != nil {
 			if !sw.wrote {
 				writeDrawError(w, err)
 			}
 			return
+		}
+		if span != "" {
+			c.spans.RecordKV(span, "edge", "stream",
+				"cluster_session", strconv.FormatUint(cid, 10),
+				"offset", strconv.FormatInt(off, 10),
+				"len", strconv.FormatInt(n, 10))
 		}
 	})
 	return mux
@@ -166,27 +215,23 @@ func (pw *passthroughWriter) Write(p []byte) (int, error) {
 // prefixed thinaird_cluster_ so a coordinator and a single-process
 // daemon can be scraped side by side.
 func (m ClusterMetrics) WriteProm(w io.Writer) {
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "thinaird_cluster_uptime_seconds %g\n", m.UptimeSeconds)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_workers_alive gauge\n")
-	fmt.Fprintf(w, "thinaird_cluster_workers_alive %d\n", m.WorkersAlive)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions gauge\n")
-	fmt.Fprintf(w, "thinaird_cluster_sessions %d\n", m.Sessions)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_orphaned gauge\n")
-	fmt.Fprintf(w, "thinaird_cluster_sessions_orphaned %d\n", m.Orphaned)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_created_total counter\n")
-	fmt.Fprintf(w, "thinaird_cluster_sessions_created_total %d\n", m.Created)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_removed_total counter\n")
-	fmt.Fprintf(w, "thinaird_cluster_sessions_removed_total %d\n", m.Removed)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_failed_total counter\n")
-	fmt.Fprintf(w, "thinaird_cluster_sessions_failed_total %d\n", m.Failed)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_sessions_reassigned_total counter\n")
-	fmt.Fprintf(w, "thinaird_cluster_sessions_reassigned_total %d\n", m.Reassigned)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_worker_restarts_total counter\n")
-	fmt.Fprintf(w, "thinaird_cluster_worker_restarts_total %d\n", m.Restarts)
-	fmt.Fprintf(w, "# TYPE thinaird_cluster_worker_sessions gauge\n")
+	pw := obs.NewPromWriter(w)
+	single := func(name, help, typ string, v float64) {
+		pw.Family(name, help, typ)
+		pw.Sample(name, v)
+	}
+	single("thinaird_cluster_uptime_seconds", "Seconds since the coordinator started.", "gauge", m.UptimeSeconds)
+	single("thinaird_cluster_workers_alive", "Worker slots currently answering heartbeats.", "gauge", float64(m.WorkersAlive))
+	single("thinaird_cluster_sessions", "Cluster sessions known to the coordinator.", "gauge", float64(m.Sessions))
+	single("thinaird_cluster_sessions_orphaned", "Sessions awaiting re-placement after a worker death.", "gauge", float64(m.Orphaned))
+	single("thinaird_cluster_sessions_created_total", "Cluster sessions admitted over the coordinator's lifetime.", "counter", float64(m.Created))
+	single("thinaird_cluster_sessions_removed_total", "Cluster sessions closed and forgotten.", "counter", float64(m.Removed))
+	single("thinaird_cluster_sessions_failed_total", "Cluster sessions that could not be re-placed.", "counter", float64(m.Failed))
+	single("thinaird_cluster_sessions_reassigned_total", "Sessions moved to a new worker after their old one died.", "counter", float64(m.Reassigned))
+	single("thinaird_cluster_worker_restarts_total", "Worker processes respawned by supervision.", "counter", float64(m.Restarts))
+	pw.Family("thinaird_cluster_worker_sessions", "Assigned sessions per worker slot.", "gauge")
 	for _, wi := range m.Workers {
-		fmt.Fprintf(w, "thinaird_cluster_worker_sessions{slot=%q,alive=%q} %d\n",
-			strconv.Itoa(wi.Slot), strconv.FormatBool(wi.Alive), wi.Sessions)
+		pw.Sample("thinaird_cluster_worker_sessions", float64(wi.Sessions),
+			"slot", strconv.Itoa(wi.Slot), "alive", strconv.FormatBool(wi.Alive))
 	}
 }

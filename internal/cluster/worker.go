@@ -10,10 +10,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -24,6 +26,13 @@ type WorkerConfig struct {
 	Capacity int
 	// DrainTimeout bounds each session's graceful drain. 0 means 10s.
 	DrainTimeout time.Duration
+	// Obs is the worker's metrics registry. Nil means a PRIVATE registry
+	// per worker — not the process default — so the coordinator's fleet
+	// merge (/v1/cluster/metrics) never double-counts a sample when
+	// workers share its process (the InProcess spawner).
+	Obs *obs.Registry
+	// Spans is the worker's span ring. Nil means a private ring.
+	Spans *obs.SpanLog
 }
 
 func (c *WorkerConfig) fill() {
@@ -40,8 +49,10 @@ func (c *WorkerConfig) fill() {
 // their cluster id; the worker-local service id is an implementation
 // detail the coordinator never sees.
 type Worker struct {
-	cfg WorkerConfig
-	svc *service.Service
+	cfg   WorkerConfig
+	svc   *service.Service
+	obs   *obs.Registry
+	spans *obs.SpanLog
 
 	mu        sync.Mutex
 	byCluster map[uint64]*service.Session
@@ -55,18 +66,34 @@ type Worker struct {
 // NewWorker starts a worker around a fresh service instance.
 func NewWorker(cfg WorkerConfig) *Worker {
 	cfg.fill()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	if cfg.Spans == nil {
+		cfg.Spans = obs.NewSpanLog(obs.DefaultSpanCapacity)
+	}
 	return &Worker{
-		cfg: cfg,
+		cfg:   cfg,
+		obs:   cfg.Obs,
+		spans: cfg.Spans,
 		svc: service.New(service.Config{
 			MaxSessions:  cfg.Capacity,
 			MaxQueued:    cfg.Capacity,
 			DrainTimeout: cfg.DrainTimeout,
+			Obs:          cfg.Obs,
+			Spans:        cfg.Spans,
 		}),
 		byCluster: make(map[uint64]*service.Session),
 		pending:   make(map[uint64]bool),
 		drained:   make(chan struct{}),
 	}
 }
+
+// Obs returns the worker's metrics registry (never nil).
+func (w *Worker) Obs() *obs.Registry { return w.obs }
+
+// Spans returns the worker's span ring (never nil).
+func (w *Worker) Spans() *obs.SpanLog { return w.spans }
 
 // Service exposes the underlying session manager (metrics, tests).
 func (w *Worker) Service() *service.Service { return w.svc }
@@ -286,6 +313,12 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("GET /ctl/stats", func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, w.Stats())
 	})
+	mux.HandleFunc("GET /ctl/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		// The coordinator's fleet scrape: the registry snapshot in its JSON
+		// wire form, ready for bucket-wise merging coordinator-side.
+		writeJSON(rw, http.StatusOK, w.obs.Snapshot())
+	})
+	mux.Handle("GET /ctl/trace", w.spans.Handler())
 	mux.HandleFunc("POST /ctl/assign", func(rw http.ResponseWriter, r *http.Request) {
 		var req assignRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -355,6 +388,7 @@ func (w *Worker) Handler() http.Handler {
 			writeDrawError(rw, err)
 			return
 		}
+		w.recordSpan(r, cid, "draw", n)
 		writeJSON(rw, http.StatusOK, drawResponse{
 			Session: cid, Bytes: n, Key: hex.EncodeToString(key),
 		})
@@ -380,7 +414,33 @@ func (w *Worker) Handler() http.Handler {
 		// Chunked copy with a declared Content-Length: the range is never
 		// buffered whole, and a mid-range failure aborts the connection
 		// instead of terminating a short body cleanly.
-		httpapi.StreamBody(rw, r, src, n)
+		if httpapi.StreamBody(rw, r, src, n) {
+			w.recordSpan(r, cid, "stream", int(n))
+		}
 	})
 	return mux
+}
+
+// recordSpan chains a routed key read into the coordinator-minted span:
+// one worker-tier event for the RPC, and one engine-tier event carrying
+// the session's protocol-round counters, so a single span id read back
+// through /debug/trace walks edge -> worker -> engine round.
+func (w *Worker) recordSpan(r *http.Request, cid uint64, op string, n int) {
+	if !w.obs.Enabled() {
+		return
+	}
+	span := r.Header.Get(obs.SpanHeader)
+	if span == "" {
+		return
+	}
+	w.spans.RecordKV(span, "worker", op,
+		"cluster_session", strconv.FormatUint(cid, 10),
+		"bytes", strconv.Itoa(n),
+		"pid", strconv.Itoa(os.Getpid()))
+	if m, err := w.Metrics(cid); err == nil {
+		w.spans.RecordKV(span, "engine", "round",
+			"cluster_session", strconv.FormatUint(cid, 10),
+			"rounds", strconv.FormatInt(m.Rounds, 10),
+			"productive", strconv.FormatInt(m.Productive, 10))
+	}
 }

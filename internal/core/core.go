@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/gf"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -65,6 +66,10 @@ type Config struct {
 	// Tracer, when non-nil, receives structured per-round events
 	// (see internal/trace). Nil disables tracing.
 	Tracer trace.Tracer
+	// Obs, when non-nil, receives engine phase timings (round, x-phase
+	// and compute durations) as histograms. Nil disables timing — the
+	// engine then performs no clock reads at all.
+	Obs *obs.Registry
 }
 
 // ErrConfig wraps configuration validation failures.

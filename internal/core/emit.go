@@ -1,0 +1,63 @@
+package core
+
+import "repro/internal/trace"
+
+// emitter wraps the session's optional tracer so every emit site pays
+// exactly one nil check when tracing is off. The attrs maps are built
+// strictly after that check — the engine's "zero-cost default" claim
+// depends on it, and trace_alloc_test.go gates the disabled path at
+// zero allocations.
+type emitter struct{ t trace.Tracer }
+
+func (e emitter) roundStart(round, leader, numX int) {
+	if e.t == nil {
+		return
+	}
+	e.t.Emit(trace.Event{Kind: trace.KindRoundStart, Round: round, Attrs: map[string]any{
+		"leader": leader, "num_x": numX,
+	}})
+}
+
+func (e emitter) xPhaseDone(round, eveReceived int) {
+	if e.t == nil {
+		return
+	}
+	e.t.Emit(trace.Event{Kind: trace.KindXPhaseDone, Round: round, Attrs: map[string]any{
+		"eve_received": eveReceived,
+	}})
+}
+
+func (e emitter) planBuilt(round, pools, m, l int, estimator, pooling string) {
+	if e.t == nil {
+		return
+	}
+	e.t.Emit(trace.Event{Kind: trace.KindPlanBuilt, Round: round, Attrs: map[string]any{
+		"pools": pools, "m": m, "l": l,
+		"estimator": estimator, "pooling": pooling,
+	}})
+}
+
+func (e emitter) roundAborted(round int) {
+	if e.t == nil {
+		return
+	}
+	e.t.Emit(trace.Event{Kind: trace.KindRoundAborted, Round: round})
+}
+
+func (e emitter) secretDerived(round, secretPackets, eveUnknown int, agreed bool) {
+	if e.t == nil {
+		return
+	}
+	e.t.Emit(trace.Event{Kind: trace.KindSecretDerived, Round: round, Attrs: map[string]any{
+		"secret_packets": secretPackets, "eve_unknown": eveUnknown, "agreed": agreed,
+	}})
+}
+
+func (e emitter) sessionDone(rounds, secretBytes int, efficiency float64) {
+	if e.t == nil {
+		return
+	}
+	e.t.Emit(trace.Event{Kind: trace.KindSessionDone, Round: rounds, Attrs: map[string]any{
+		"secret_bytes": secretBytes, "efficiency": efficiency,
+	}})
+}

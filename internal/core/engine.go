@@ -11,9 +11,9 @@ import (
 	"repro/internal/gf"
 	"repro/internal/mac"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/radio"
-	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -117,18 +117,31 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 	// dominated the session's allocation profile.
 	var tsc RoundScratch
 	rm := make(map[packet.ID][]Sym)
-	emit := func(kind string, round int, attrs map[string]any) {
-		if cfg.Tracer != nil {
-			cfg.Tracer.Emit(trace.Event{Kind: kind, Round: round, Attrs: attrs})
-		}
+	em := emitter{cfg.Tracer}
+	// Phase-timing instruments resolve once per session; when no
+	// registry is plumbed they are nil and every Observe below is a
+	// single nil check, with the time.Now calls skipped entirely.
+	var roundLat, xPhaseLat, computeLat *obs.Histogram
+	if cfg.Obs.Enabled() {
+		roundLat = cfg.Obs.Histogram("thinaird_engine_round_seconds",
+			"Wall time of one protocol round (per node running the engine).", obs.LatencyBuckets)
+		xPhaseLat = cfg.Obs.Histogram("thinaird_engine_xphase_seconds",
+			"Wall time of the x-packet exchange phase of a round.", obs.LatencyBuckets)
+		computeLat = cfg.Obs.Histogram("thinaird_engine_compute_seconds",
+			"Wall time of a round's plan/eliminate/derive phase.", obs.LatencyBuckets)
 	}
+	timed := roundLat != nil
 
 	for round := 0; round < cfg.Rounds; round++ {
+		var roundT0 time.Time
+		if timed {
+			roundT0 = time.Now()
+		}
 		leader := 0
 		if cfg.Rotate {
 			leader = round % n
 		}
-		emit(trace.KindRoundStart, round, map[string]any{"leader": leader, "num_x": cfg.XPerRound})
+		em.roundStart(round, leader, cfg.XPerRound)
 		h := wire.Header{From: uint8(leader), Session: uint32(cfg.Seed), Round: uint16(round)}
 
 		// Phase 1 step 1: transmit N x-packets, spread over the round's
@@ -169,9 +182,12 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 		}
 		med.AdvanceSlot() // finish the round's slot rotation
 		recv[leader] = fullIDSet(cfg.XPerRound)
-		emit(trace.KindXPhaseDone, round, map[string]any{
-			"eve_received": eveRecv.Count(),
-		})
+		var computeT0 time.Time
+		if timed {
+			computeT0 = time.Now()
+			xPhaseLat.Observe(computeT0.Sub(roundT0).Seconds())
+		}
+		em.xPhaseDone(round, eveRecv.Count())
 
 		// Phase 1 step 2: reliable reception reports.
 		for t := 0; t < n; t++ {
@@ -199,10 +215,8 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 			ctx.EveRecv = eveRecv
 		}
 		plan := BuildPlan(ctx, cfg.Estimator)
-		emit(trace.KindPlanBuilt, round, map[string]any{
-			"pools": len(plan.Classes), "m": plan.M, "l": plan.L,
-			"estimator": cfg.Estimator.Name(), "pooling": cfg.Pooling.Name(),
-		})
+		em.planBuilt(round, len(plan.Classes), plan.M, plan.L,
+			cfg.Estimator.Name(), cfg.Pooling.Name())
 
 		info := RoundInfo{
 			Round:       round,
@@ -233,7 +247,11 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 			}
 		}
 		if plan.L == 0 {
-			emit(trace.KindRoundAborted, round, nil)
+			em.roundAborted(round)
+			if timed {
+				computeLat.ObserveSince(computeT0)
+				roundLat.ObserveSince(roundT0)
+			}
 			res.Rounds = append(res.Rounds, info)
 			continue
 		}
@@ -287,9 +305,11 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 			}
 		}
 
-		emit(trace.KindSecretDerived, round, map[string]any{
-			"secret_packets": plan.L, "eve_unknown": u, "agreed": info.Agreed,
-		})
+		em.secretDerived(round, plan.L, u, info.Agreed)
+		if timed {
+			computeLat.ObserveSince(computeT0)
+			roundLat.ObserveSince(roundT0)
+		}
 		res.Secret = append(res.Secret, SecretBytes(lr.Secret)...)
 		res.SecretDims += plan.L
 		res.UnknownDims += u
@@ -303,9 +323,7 @@ func RunSession(cfg Config, med *radio.Medium, eveNodes []radio.NodeID) (*Sessio
 		res.Efficiency = float64(res.SecretBits) / float64(res.BitsTransmitted)
 	}
 	res.Reliability = Reliability(res.SecretDims, res.UnknownDims)
-	emit(trace.KindSessionDone, cfg.Rounds, map[string]any{
-		"secret_bytes": len(res.Secret), "efficiency": res.Efficiency,
-	})
+	em.sessionDone(cfg.Rounds, len(res.Secret), res.Efficiency)
 	if res.SecretDims > 0 {
 		res.EveKnownFraction = 1 - float64(res.UnknownDims)/float64(res.SecretDims)
 	} else {

@@ -345,13 +345,16 @@ func (f *Field[E]) AddMulSlices(dst []E, srcs [][]E, cs []E) {
 	if n == 0 || len(cs) == 0 {
 		return
 	}
+	countDispatch(&dispatchSlices)
 	if f.kern.accel {
 		if f.size > 256 {
 			if n >= fusedMin16 {
+				countDispatch(&dispatchSlicesFused)
 				f.fusedAddMulSlices16(dst, srcs, cs)
 				return
 			}
 		} else if n >= fusedMin8 {
+			countDispatch(&dispatchSlicesFused)
 			f.fusedAddMulSlices8(dst, srcs, cs)
 			return
 		}
@@ -550,6 +553,7 @@ func (f *Field[E]) EliminateRows(dsts [][]E, src []E, cs []E) {
 	if len(dsts) != len(cs) {
 		panic("gf: EliminateRows coefficient count mismatch")
 	}
+	countDispatch(&dispatchEliminate)
 	var nc nibCache
 	for j, d := range dsts {
 		if len(d) != len(src) {

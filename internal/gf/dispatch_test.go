@@ -1,0 +1,57 @@
+package gf
+
+import "testing"
+
+func TestDispatchCountingOffByDefault(t *testing.T) {
+	before := ReadDispatchCounts()
+	f := GF65536()
+	dst := make([]uint16, 256)
+	src := make([]uint16, 256)
+	f.AddMulSlices(dst, [][]uint16{src}, []uint16{3})
+	f.EliminateRows([][]uint16{dst}, src, []uint16{3})
+	after := ReadDispatchCounts()
+	if after != before {
+		t.Fatalf("counters moved while counting disabled: %+v -> %+v", before, after)
+	}
+}
+
+func TestDispatchCountingCounts(t *testing.T) {
+	SetDispatchCounting(true)
+	defer SetDispatchCounting(false)
+	before := ReadDispatchCounts()
+	f := GF65536()
+	dst := make([]uint16, 256) // ≥ fusedMin16, so the accel build fuses
+	src := make([]uint16, 256)
+	f.AddMulSlices(dst, [][]uint16{src, src}, []uint16{3, 7})
+	f.EliminateRows([][]uint16{dst}, src, []uint16{3})
+	after := ReadDispatchCounts()
+	if got := after.AddMulSlices - before.AddMulSlices; got != 1 {
+		t.Fatalf("AddMulSlices delta = %d, want 1", got)
+	}
+	if got := after.EliminateRows - before.EliminateRows; got != 1 {
+		t.Fatalf("EliminateRows delta = %d, want 1", got)
+	}
+	fusedDelta := after.AddMulSlicesFused - before.AddMulSlicesFused
+	if fusedDelta > 1 {
+		t.Fatalf("fused delta = %d, want 0 or 1", fusedDelta)
+	}
+	if f.Kernel() != "generic" && fusedDelta != 1 {
+		t.Fatalf("accelerated %s kernel did not count a fused pass", f.Kernel())
+	}
+}
+
+// The counting gate must keep the disabled batched path allocation-free,
+// like every other dispatch gate in this package.
+func TestDispatchGateZeroAlloc(t *testing.T) {
+	f := GF65536()
+	dst := make([]uint16, 256)
+	src := make([]uint16, 256)
+	srcs := [][]uint16{src}
+	cs := []uint16{3}
+	f.AddMulSlices(dst, srcs, cs) // warm tables
+	if n := testing.AllocsPerRun(100, func() {
+		f.AddMulSlices(dst, srcs, cs)
+	}); n != 0 {
+		t.Errorf("AddMulSlices with counting off allocates %v times per run", n)
+	}
+}

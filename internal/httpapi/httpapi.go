@@ -74,8 +74,10 @@ const StreamChunk = 64 << 10
 // handler returns with the declared length unsatisfied and the server
 // aborts the connection, so the client sees an unexpected EOF — never a
 // valid-looking body shorter than it asked for. Shared by the service
-// /stream endpoint and the cluster tier's routed variant.
-func StreamBody(w http.ResponseWriter, r *http.Request, src io.Reader, n int64) {
+// /stream endpoint and the cluster tier's routed variant. Reports
+// whether the full n bytes were written (false on abort — callers use
+// it to label the request's outcome in metrics).
+func StreamBody(w http.ResponseWriter, r *http.Request, src io.Reader, n int64) bool {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
 	w.WriteHeader(http.StatusOK)
@@ -91,21 +93,22 @@ func StreamBody(w http.ResponseWriter, r *http.Request, src io.Reader, n int64) 
 		if m > 0 {
 			written += int64(m)
 			if _, werr := w.Write(c[:m]); werr != nil {
-				return // client went away
+				return false // client went away
 			}
 			if flusher != nil {
 				flusher.Flush()
 			}
 		}
 		if rerr != nil {
-			return // early io.EOF or source failure: abort, loudly short
+			return false // early io.EOF or source failure: abort, loudly short
 		}
 		select {
 		case <-r.Context().Done():
-			return
+			return false
 		default:
 		}
 	}
+	return true
 }
 
 // StreamRange parses the ?offset=&len= query of a stream-range read

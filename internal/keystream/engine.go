@@ -36,6 +36,10 @@ type memberHealth struct {
 	mu         sync.Mutex
 	consecMiss []int
 	skips      []int
+	// Lifetime totals across all members, for Stats: every skipped wait,
+	// and the subset that were liveness re-probes.
+	skipsTotal  int64
+	probesTotal int64
 }
 
 const (
@@ -57,10 +61,19 @@ func (h *memberHealth) shouldWait(t int) bool {
 		return true
 	}
 	h.skips[t]++
+	h.skipsTotal++
 	if h.skips[t]%healthProbeEvery == 0 {
+		h.probesTotal++
 		return true
 	}
 	return false
+}
+
+// totals reports the lifetime skip and re-probe counts.
+func (h *memberHealth) totals() (skips, probes int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.skipsTotal, h.probesTotal
 }
 
 func (h *memberHealth) ok(t int) {
@@ -82,6 +95,7 @@ type BlockContext struct {
 	cfg    *Config
 	es     *engineStats
 	health *memberHealth
+	ins    *streamInstruments
 }
 
 // Config returns the stream's (filled) configuration.
@@ -89,7 +103,7 @@ func (bc *BlockContext) Config() *Config { return bc.cfg }
 
 // derive produces block idx into dst via the configured source.
 func (s *Stream) derive(idx int64, dst []byte) error {
-	bc := &BlockContext{cfg: &s.cfg, es: &s.es, health: s.health}
+	bc := &BlockContext{cfg: &s.cfg, es: &s.es, health: s.health, ins: &s.ins}
 	if s.cfg.Source != nil {
 		return s.cfg.Source(bc, idx, dst)
 	}
@@ -211,11 +225,19 @@ func (bc *BlockContext) deriveProtocol(idx int64, dst []byte) error {
 	go func() {
 		defer exchWG.Done()
 		defer close(exchCh)
+		timed := bc.ins.exchangeLat != nil
 		for r := 0; r < 1<<16; r++ {
 			if ctx.Err() != nil {
 				return
 			}
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			er, err := bc.exchange(ctx, eps[leader], r, leader, session, blockSeed)
+			if timed {
+				bc.ins.exchangeLat.ObserveSince(t0)
+			}
 			if err != nil {
 				return
 			}
@@ -231,7 +253,12 @@ func (bc *BlockContext) deriveProtocol(idx int64, dst []byte) error {
 	written := 0
 	consecAborts := 0
 	var derr error
+	computeTimed := bc.ins.computeLat != nil
 	for er := range exchCh {
+		var computeT0 time.Time
+		if computeTimed {
+			computeT0 = time.Now()
+		}
 		r := er.round
 		h := wire.Header{From: uint8(leader), Session: session, Round: uint16(r)}
 		recv := scheduleRecv(blockSeed, r, leader, cfg.Terminals, cfg.XPerRound, cfg.Erasure)
@@ -247,6 +274,9 @@ func (bc *BlockContext) deriveProtocol(idx int64, dst []byte) error {
 		bc.es.rounds.Add(1)
 		if plan.L == 0 {
 			bc.es.aborted.Add(1)
+			if computeTimed {
+				bc.ins.computeLat.ObserveSince(computeT0)
+			}
 			consecAborts++
 			ah := h
 			ah.Type = wire.TypeBeacon
@@ -261,6 +291,9 @@ func (bc *BlockContext) deriveProtocol(idx int64, dst []byte) error {
 		consecAborts = 0
 		lr := core.ComputeLeaderRound(plan, er.xSym)
 		secret := core.SecretBytes(lr.Secret)
+		if computeTimed {
+			bc.ins.computeLat.ObserveSince(computeT0)
+		}
 		authMu.Lock()
 		auth[r] = secret
 		authMu.Unlock()

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -81,6 +82,13 @@ type Config struct {
 	// MaxAbortRounds bounds consecutive secretless rounds before a block
 	// derivation gives up (default 64) — the dead-channel escape hatch.
 	MaxAbortRounds int
+
+	// Obs, when non-nil, receives the stream's pipeline telemetry
+	// (block-derive latency, exchange/compute phase timings, resident
+	// block occupancy, cache and member-health counters) as registry
+	// instruments. Nil disables — the pipeline then performs no clock
+	// reads beyond what it already does.
+	Obs *obs.Registry
 
 	// NewBus, when non-nil, builds the broadcast bus for each block
 	// (tests wrap the default deterministic bus in an Injector). The
@@ -178,6 +186,51 @@ type Stats struct {
 	// ShedFrames counts frames dropped because a member's inbox
 	// overflowed while it was stalled (see simBus).
 	ShedFrames int64 `json:"shed_frames"`
+	// CacheHits / CacheMisses classify block acquisitions: a hit found
+	// the block already derived; a miss created or waited for it.
+	// CacheEvictions counts idle derived blocks dropped by the LRU to
+	// make room.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	// HealthSkips counts report waits skipped because the member was
+	// marked unresponsive; HealthProbes counts the periodic liveness
+	// re-probes of such members (see memberHealth).
+	HealthSkips  int64 `json:"health_skips"`
+	HealthProbes int64 `json:"health_probes"`
+}
+
+// streamInstruments are the registry handles a stream observes into.
+// The zero value (no registry plumbed) is fully usable: every obs
+// instrument is nil-receiver safe, and timing sites skip their clock
+// reads when the relevant histogram is nil.
+type streamInstruments struct {
+	blockLat    *obs.Histogram
+	exchangeLat *obs.Histogram
+	computeLat  *obs.Histogram
+	resident    *obs.Gauge
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheEvicts *obs.Counter
+}
+
+func newStreamInstruments(r *obs.Registry) streamInstruments {
+	return streamInstruments{
+		blockLat: r.Histogram("thinaird_keystream_block_derive_seconds",
+			"Wall time to derive one keystream block.", obs.LatencyBuckets),
+		exchangeLat: r.Histogram("thinaird_keystream_exchange_seconds",
+			"Wall time of one pipelined round's x-packet exchange phase.", obs.LatencyBuckets),
+		computeLat: r.Histogram("thinaird_keystream_compute_seconds",
+			"Wall time of one pipelined round's plan/eliminate/announce phase.", obs.LatencyBuckets),
+		resident: r.Gauge("thinaird_keystream_blocks_resident",
+			"Blocks currently resident in the stream cache (pipeline occupancy)."),
+		cacheHits: r.Counter("thinaird_keystream_cache_hits_total",
+			"Block acquisitions that found the block already derived."),
+		cacheMisses: r.Counter("thinaird_keystream_cache_misses_total",
+			"Block acquisitions that created or waited for a derivation."),
+		cacheEvicts: r.Counter("thinaird_keystream_cache_evictions_total",
+			"Idle derived blocks evicted by the LRU to make room."),
+	}
 }
 
 // blockState tracks one block through the cache.
@@ -210,6 +263,7 @@ type Stream struct {
 	health *memberHealth
 	stats  Stats       // cache-side counters, guarded by mu
 	es     engineStats // derivation-side counters, atomic
+	ins    streamInstruments
 }
 
 // New starts a stream: cfg.Workers derivation workers begin prefetching
@@ -222,6 +276,9 @@ func New(cfg Config) (*Stream, error) {
 		cfg:    cfg,
 		blocks: make(map[int64]*blockState),
 		health: newMemberHealth(cfg.Terminals),
+	}
+	if cfg.Obs != nil {
+		s.ins = newStreamInstruments(cfg.Obs)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -247,6 +304,7 @@ func (s *Stream) Stats() Stats {
 	st.AckTimeouts = s.es.ackTimeouts.Load()
 	st.SkippedWaits = s.es.skippedWaits.Load()
 	st.ShedFrames = s.es.shed.Load()
+	st.HealthSkips, st.HealthProbes = s.health.totals()
 	return st
 }
 
@@ -270,7 +328,15 @@ func (s *Stream) worker() {
 		s.mu.Unlock()
 
 		data := make([]byte, s.cfg.BlockSize)
+		timed := s.ins.blockLat != nil
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		err := s.derive(bs.idx, data)
+		if timed {
+			s.ins.blockLat.ObserveSince(t0)
+		}
 
 		s.mu.Lock()
 		bs.running = false
@@ -286,6 +352,7 @@ func (s *Stream) worker() {
 			// the block so the next acquisition re-derives it (transient
 			// stalls must not poison an offset forever).
 			delete(s.blocks, bs.idx)
+			s.ins.resident.Set(float64(len(s.blocks)))
 		} else {
 			s.stats.Blocks++
 			bs.data = data
@@ -323,6 +390,7 @@ func (s *Stream) pickNext() *blockState {
 			}
 			bs := &blockState{idx: idx}
 			s.blocks[idx] = bs
+			s.ins.resident.Set(float64(len(s.blocks)))
 			return bs
 		}
 	}
@@ -350,6 +418,9 @@ func (s *Stream) makeRoom() bool {
 	}
 	zero(victim.data)
 	delete(s.blocks, victim.idx)
+	s.stats.CacheEvictions++
+	s.ins.cacheEvicts.Inc()
+	s.ins.resident.Set(float64(len(s.blocks)))
 	return true
 }
 
@@ -364,11 +435,22 @@ func (s *Stream) nextTick() int64 {
 func (s *Stream) acquire(idx int64) (*blockState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	classified := false // hit/miss is judged on the first look only
 	for {
 		if s.closed {
 			return nil, ErrClosed
 		}
 		bs, ok := s.blocks[idx]
+		if !classified {
+			classified = true
+			if ok && bs.data != nil {
+				s.stats.CacheHits++
+				s.ins.cacheHits.Inc()
+			} else {
+				s.stats.CacheMisses++
+				s.ins.cacheMisses.Inc()
+			}
+		}
 		if !ok {
 			if !s.makeRoom() {
 				// Every cache slot is a live (demanded or running) block.
@@ -378,6 +460,7 @@ func (s *Stream) acquire(idx int64) (*blockState, error) {
 			}
 			bs = &blockState{idx: idx}
 			s.blocks[idx] = bs
+			s.ins.resident.Set(float64(len(s.blocks)))
 		}
 		if s.hint != idx+1 {
 			// Move the prefetch hint to where this reader is so the workers
@@ -493,6 +576,7 @@ func (s *Stream) Close() error {
 		}
 		delete(s.blocks, idx)
 	}
+	s.ins.resident.Set(float64(len(s.blocks)))
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()

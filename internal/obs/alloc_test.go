@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled path is the default for every process that never opts
+// into observability, so it must not allocate — same contract as the
+// GF kernel dispatch gates.
+
+func TestDisabledInstrumentsZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("test_alloc_total", "h")
+	g := r.Gauge("test_alloc_depth", "h")
+	h := r.Histogram("test_alloc_seconds", "h", LatencyBuckets)
+	c.Inc()
+	g.Set(1)
+	h.Observe(0.01) // warm
+	r.SetEnabled(false)
+	t0 := time.Now()
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(2)
+		g.Add(1)
+		h.Observe(0.01)
+		h.ObserveSince(t0)
+	}); n != 0 {
+		t.Errorf("disabled instrument path allocates %v times per run", n)
+	}
+}
+
+func TestNilInstrumentsZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(0.01)
+	}); n != 0 {
+		t.Errorf("nil instrument path allocates %v times per run", n)
+	}
+}
+
+func TestEnabledScalarInstrumentsZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("test_alloc_on_total", "h")
+	h := r.Histogram("test_alloc_on_seconds", "h", LatencyBuckets)
+	c.Inc()
+	h.Observe(0.01) // warm
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(0.0005)
+	}); n != 0 {
+		t.Errorf("enabled hot path allocates %v times per run", n)
+	}
+}
+
+func TestNilSpanLogRecordZeroAlloc(t *testing.T) {
+	var l *SpanLog
+	if n := testing.AllocsPerRun(100, func() {
+		l.Record("span", "edge", "draw", nil)
+	}); n != 0 {
+		t.Errorf("nil span log record allocates %v times per run", n)
+	}
+}

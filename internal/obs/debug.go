@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// WriteSnapshotJSON serves a snapshot as an indented JSON body — the
+// shape worker /ctl/metrics and the fleet merge endpoint exchange.
+func WriteSnapshotJSON(w http.ResponseWriter, s Snapshot) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s)
+}
+
+// DebugMux builds the opt-in debug surface mounted on -debug-addr:
+//
+//	/debug/pprof/...   net/http/pprof profiles
+//	/debug/trace       span ring as JSON (?span=ID filters)
+//	/metrics           the registry in Prometheus text format
+//	/metrics.json      the registry snapshot as JSON
+//
+// Either argument may be nil; the corresponding routes then serve
+// empty data rather than being absent, so probes stay uniform.
+func DebugMux(r *Registry, spans *SpanLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/trace", spans.Handler())
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.Snapshot().WriteProm(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		WriteSnapshotJSON(w, r.Snapshot())
+	})
+	return mux
+}

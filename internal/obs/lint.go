@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lint runs a promlint-style validation over a Prometheus text
+// exposition body and returns one message per problem found. It checks
+// the rules our own endpoints promise: every sample belongs to a
+// family announced by a # TYPE line, every # TYPE has a # HELP, names
+// and label syntax are well-formed (including escape sequences),
+// counters end in _total, and histogram samples use only the
+// _bucket/_sum/_count suffixes with le labels on buckets.
+func Lint(r io.Reader) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	types := make(map[string]string)
+	helps := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			if !validMetricName(name) {
+				addf("line %d: invalid metric name %q in %s", ln, name, kind)
+				continue
+			}
+			switch kind {
+			case "HELP":
+				helps[name] = true
+			case "TYPE":
+				switch rest {
+				case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+				default:
+					addf("line %d: unknown type %q for %s", ln, rest, name)
+				}
+				if _, dup := types[name]; dup {
+					addf("line %d: duplicate # TYPE for %s", ln, name)
+				}
+				types[name] = rest
+				if !helps[name] {
+					addf("line %d: # TYPE %s has no preceding # HELP", ln, name)
+				}
+				if rest == TypeCounter && !strings.HasSuffix(name, "_total") {
+					addf("line %d: counter %s should end in _total", ln, name)
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", ln, err)
+			continue
+		}
+		if !validMetricName(name) {
+			addf("line %d: invalid metric name %q", ln, name)
+			continue
+		}
+		fam, suffix := name, ""
+		if _, ok := types[fam]; !ok {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, sfx)
+				if base != name && types[base] != "" {
+					fam, suffix = base, sfx
+					break
+				}
+			}
+		}
+		typ, ok := types[fam]
+		if !ok {
+			addf("line %d: sample %s has no # TYPE", ln, name)
+			continue
+		}
+		if suffix != "" && typ != TypeHistogram && typ != "summary" {
+			addf("line %d: sample %s uses %s suffix but %s is a %s", ln, name, suffix, fam, typ)
+		}
+		if typ == TypeHistogram {
+			switch suffix {
+			case "_bucket":
+				if _, ok := labels["le"]; !ok {
+					addf("line %d: histogram bucket %s missing le label", ln, name)
+				}
+			case "_sum", "_count":
+			default:
+				addf("line %d: histogram %s exposes bare sample %s", ln, fam, name)
+			}
+		}
+		if typ == TypeCounter && value < 0 {
+			addf("line %d: counter %s has negative value %g", ln, name, value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("read: %v", err)
+	}
+	return problems
+}
+
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	for _, k := range []string{"# HELP ", "# TYPE "} {
+		if strings.HasPrefix(line, k) {
+			body := line[len(k):]
+			name, rest, _ = strings.Cut(body, " ")
+			return strings.TrimSpace(k[2:6]), name, rest, name != ""
+		}
+	}
+	return "", "", "", false
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.Contains(name, ":") {
+		return false
+	}
+	return validMetricName(name)
+}
+
+// parseSample parses `name{k="v",...} value [timestamp]`, honouring
+// escape sequences inside label values.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) <= eq+1 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			key := rest[:eq]
+			if !validLabelName(key) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q in %q", key, line)
+			}
+			val, rem, perr := parseQuoted(rest[eq+1:])
+			if perr != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", perr, line)
+			}
+			labels[key] = val
+			rest = rem
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	valStr, _, _ := strings.Cut(rest, " ")
+	value, err = strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q in %q", valStr, line)
+	}
+	return name, labels, value, nil
+}
+
+// parseQuoted consumes a double-quoted string with \\, \", and \n
+// escapes, returning the decoded value and the remainder after the
+// closing quote.
+func parseQuoted(s string) (val, rest string, err error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

@@ -1,0 +1,158 @@
+// Package obs is the zero-dependency observability core shared by every
+// tier: a metrics registry (atomic counters, gauges, fixed-bucket
+// histograms with p50/p95/p99 extraction), cross-process span tracing
+// (IDs minted at the HTTP edge, propagated via the X-Thinair-Span
+// header, ring-buffered per process), and the opt-in debug surfaces
+// (pprof + /debug/trace).
+//
+// Cost model: every instrument is gated on its registry's enabled flag
+// (one atomic load) and every method is nil-receiver safe, so an
+// unplumbed or disabled path performs no allocation and no work beyond
+// the gate check — proven by the AllocsPerRun gates in alloc_test.go.
+// Handles are resolved once at setup (Registry.Counter, CounterVec.With)
+// and cached by the caller; only registration takes locks.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default histogram bounds for durations in
+// seconds, spanning 50µs..10s — wide enough for an in-process pool draw
+// and a cross-process stream range on the same scale.
+var LatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are the default histogram bounds for byte sizes,
+// spanning 64B..16MiB.
+var SizeBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20,
+}
+
+var defaultRegistry = New()
+
+// Default returns the process-wide registry. Standalone daemons and
+// exec-spawned workers use it; in-process workers get their own
+// registry so a shared process never double-counts in the fleet merge.
+func Default() *Registry { return defaultRegistry }
+
+var defaultSpans = NewSpanLog(DefaultSpanCapacity)
+
+// DefaultSpans returns the process-wide span ring buffer.
+func DefaultSpans() *SpanLog { return defaultSpans }
+
+// Counter is a monotonically increasing metric. The zero of everything
+// useful: one atomic add when enabled, one atomic load when not.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value (float64, settable both ways).
+type Gauge struct {
+	on   *atomic.Bool
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: bounds are inclusive upper
+// edges of each bucket, with an implicit +Inf bucket at the end. Observe
+// is lock-free (linear scan over ≤ ~20 bounds plus two atomic ops).
+type Histogram struct {
+	on      *atomic.Bool
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// snapshot materializes the histogram counters.
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	hs := &HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		hs.Counts[i] = c
+		hs.Count += c
+	}
+	hs.Sum = bitsFloat(h.sumBits.Load())
+	hs.refreshQuantiles()
+	return hs
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits the Prometheus text exposition format with proper
+// # HELP / # TYPE headers and label-value escaping. The hand-rolled
+// WriteProm methods in service and cluster render through it so every
+// endpoint in the repo is promlint-clean the same way.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family writes the # HELP and # TYPE header for a metric family.
+func (p *PromWriter) Family(name, help, typ string) {
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line. kv is alternating label key, value
+// pairs; values are escaped per the exposition format.
+func (p *PromWriter) Sample(name string, v float64, kv ...string) {
+	p.printf("%s%s %s\n", name, formatLabels(kv), formatValue(v))
+}
+
+// formatLabels renders {k="v",...} from alternating pairs ("" for none).
+func formatLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// EscapeLabelValue escapes a label value per the text exposition
+// format: backslash, double quote, and newline.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteProm renders the snapshot in the Prometheus text format.
+// Histograms expand to cumulative _bucket series plus _sum and _count.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	p := NewPromWriter(w)
+	for _, f := range s.Families {
+		p.Family(f.Name, f.Help, f.Type)
+		for _, se := range f.Series {
+			kv := make([]string, 0, 2*len(f.Labels)+2)
+			for i, l := range f.Labels {
+				v := ""
+				if i < len(se.LabelValues) {
+					v = se.LabelValues[i]
+				}
+				kv = append(kv, l, v)
+			}
+			if se.Hist == nil {
+				p.Sample(f.Name, se.Value, kv...)
+				continue
+			}
+			var cum uint64
+			for i, c := range se.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(se.Hist.Bounds) {
+					le = formatValue(se.Hist.Bounds[i])
+				}
+				p.Sample(f.Name+"_bucket", float64(cum), append(kv, "le", le)...)
+			}
+			p.Sample(f.Name+"_sum", se.Hist.Sum, kv...)
+			p.Sample(f.Name+"_count", float64(se.Hist.Count), kv...)
+		}
+	}
+	return p.Err()
+}

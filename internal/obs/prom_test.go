@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample() Snapshot {
+	r := New()
+	c := r.Counter("test_ops_total", "operations\nwith a newline and a \\ backslash")
+	c.Add(3)
+	r.Gauge("test_depth", "queue depth").Set(2.5)
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.CounterVec("test_rpc_total", "rpc calls", "op", "target").
+		With(`tricky"value`, "with\\slash\nand newline").Add(7)
+	return r.Snapshot()
+}
+
+func TestWritePromIsLintClean(t *testing.T) {
+	var b strings.Builder
+	if err := buildSample().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if problems := Lint(strings.NewReader(out)); len(problems) != 0 {
+		t.Fatalf("renderer output fails lint:\n%s\n---\n%s", strings.Join(problems, "\n"), out)
+	}
+	for _, want := range []string{
+		"# HELP test_ops_total operations\\nwith a newline and a \\\\ backslash",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		"# TYPE test_lat_seconds histogram",
+		`test_lat_seconds_bucket{le="+Inf"} 3`,
+		"test_lat_seconds_count 3",
+		`op="tricky\"value"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestPromRoundTripEscapedLabels(t *testing.T) {
+	var b strings.Builder
+	if err := buildSample().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Re-parse the rendered body and check the tricky label survives.
+	found := false
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			t.Fatalf("rendered line does not re-parse: %v", err)
+		}
+		if name == "test_rpc_total" {
+			found = true
+			if labels["op"] != `tricky"value` {
+				t.Fatalf("op label round-trip = %q", labels["op"])
+			}
+			if labels["target"] != "with\\slash\nand newline" {
+				t.Fatalf("target label round-trip = %q", labels["target"])
+			}
+			if value != 7 {
+				t.Fatalf("value = %g, want 7", value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("labeled sample not rendered")
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	var b strings.Builder
+	if err := buildSample().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	var last float64 = -1
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "test_lat_seconds_bucket") {
+			continue
+		}
+		_, _, v, err := parseSample(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative: %g after %g", v, last)
+		}
+		last = v
+	}
+	if last != 3 {
+		t.Fatalf("final +Inf bucket = %g, want 3", last)
+	}
+}
+
+func TestLintCatchesBadExpositions(t *testing.T) {
+	cases := map[string]string{
+		"missing TYPE":     "some_metric 1\n",
+		"missing HELP":     "# TYPE x_total counter\nx_total 1\n",
+		"counter no total": "# HELP x x\n# TYPE x counter\nx 1\n",
+		"bad escape":       "# HELP x_total x\n# TYPE x_total counter\nx_total{a=\"\\q\"} 1\n",
+		"bare histogram":   "# HELP h h\n# TYPE h histogram\nh 1\n",
+		"bucket no le":     "# HELP h h\n# TYPE h histogram\nh_bucket{op=\"a\"} 1\n",
+	}
+	for name, body := range cases {
+		if problems := Lint(strings.NewReader(body)); len(problems) == 0 {
+			t.Errorf("%s: lint accepted bad exposition:\n%s", name, body)
+		}
+	}
+	good := "# HELP ok_total fine\n# TYPE ok_total counter\nok_total{a=\"b\"} 1\n"
+	if problems := Lint(strings.NewReader(good)); len(problems) != 0 {
+		t.Errorf("lint rejected good exposition: %v", problems)
+	}
+}

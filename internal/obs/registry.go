@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric family types used in snapshots and the Prometheus renderer.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Registry owns a set of metric families. Registration (Counter,
+// Gauge, Histogram, the Vec variants, and the Func collectors) is
+// idempotent per name and takes a lock; the returned handles are then
+// lock-free. SetEnabled flips every instrument of the registry at once
+// — the "stripped" arm of the overhead benchmark and the idle default
+// for processes that never plumb observability.
+type Registry struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	byName  map[string]*family
+	order   []*family
+	collect []func()
+}
+
+// New returns an enabled, empty registry.
+func New() *Registry {
+	r := &Registry{byName: make(map[string]*family)}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled turns every instrument of the registry on or off.
+func (r *Registry) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether instruments record.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// family is one named metric: a type, help text, label names, and the
+// live series keyed by their label values.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+	bounds []float64      // histogram families only
+	fn     func() float64 // Func families only
+
+	mu     sync.Mutex
+	series map[string]any // *Counter | *Gauge | *Histogram
+	order  []seriesEntry
+}
+
+type seriesEntry struct {
+	lvs []string
+	m   any
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64, fn func() float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: %s re-registered as %s/%d labels (was %s/%d)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		fn:     fn,
+		series: make(map[string]any),
+	}
+	r.byName[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+func (f *family) get(r *Registry, lvs []string) any {
+	key := strings.Join(lvs, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	var m any
+	switch f.typ {
+	case TypeCounter:
+		m = &Counter{on: &r.enabled}
+	case TypeGauge:
+		m = &Gauge{on: &r.enabled}
+	case TypeHistogram:
+		h := &Histogram{
+			on:     &r.enabled,
+			bounds: f.bounds,
+			counts: make([]atomic.Uint64, len(f.bounds)+1),
+		}
+		m = h
+	}
+	lvs = append([]string(nil), lvs...)
+	f.series[key] = m
+	f.order = append(f.order, seriesEntry{lvs: lvs, m: m})
+	return m
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, TypeCounter, nil, nil, nil).get(r, nil).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, TypeGauge, nil, nil, nil).get(r, nil).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the
+// given bucket upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, TypeHistogram, nil, bounds, nil).get(r, nil).(*Histogram)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r: r, f: r.register(name, help, TypeCounter, labels, nil, nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r: r, f: r.register(name, help, TypeGauge, labels, nil, nil)}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r: r, f: r.register(name, help, TypeHistogram, labels, bounds, nil)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// snapshot time — the bridge for counters that already live elsewhere
+// as atomics (gf dispatch counts, cluster reassignment totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, TypeCounter, nil, nil, fn)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at snapshot
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, TypeGauge, nil, nil, fn)
+}
+
+// OnCollect registers a hook run at the start of every Snapshot — for
+// syncing state into gauges right before a scrape.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collect = append(r.collect, fn)
+	r.mu.Unlock()
+}
+
+// CounterVec hands out per-label-value counters. Resolve handles once
+// with With and cache them; With itself allocates for the lookup key.
+type CounterVec struct {
+	r *Registry
+	f *family
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(lvs ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(v.r, lvs).(*Counter)
+}
+
+// GaugeVec hands out per-label-value gauges.
+type GaugeVec struct {
+	r *Registry
+	f *family
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(lvs ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(v.r, lvs).(*Gauge)
+}
+
+// HistogramVec hands out per-label-value histograms.
+type HistogramVec struct {
+	r *Registry
+	f *family
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(v.r, lvs).(*Histogram)
+}
+
+// Snapshot materializes every family, sorted by name, with histogram
+// quantiles filled. Collect hooks run first.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.collect...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.Lock()
+	fams := append([]*family{}, r.order...)
+	r.mu.Unlock()
+	s := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Type:   f.typ,
+			Labels: append([]string(nil), f.labels...),
+		}
+		if f.fn != nil {
+			fs.Series = []SeriesSnapshot{{Value: f.fn()}}
+			s.Families = append(s.Families, fs)
+			continue
+		}
+		f.mu.Lock()
+		entries := append([]seriesEntry{}, f.order...)
+		f.mu.Unlock()
+		for _, e := range entries {
+			ss := SeriesSnapshot{LabelValues: e.lvs}
+			switch m := e.m.(type) {
+			case *Counter:
+				ss.Value = float64(m.Value())
+			case *Gauge:
+				ss.Value = m.Value()
+			case *Histogram:
+				ss.Hist = m.snapshot()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		s.Families = append(s.Families, fs)
+	}
+	sort.Slice(s.Families, func(i, j int) bool { return s.Families[i].Name < s.Families[j].Name })
+	return s
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

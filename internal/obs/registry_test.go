@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := New()
+	a := r.Counter("test_once_total", "h")
+	b := r.Counter("test_once_total", "h")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different handle")
+	}
+	v1 := r.CounterVec("test_vec_total", "h", "op").With("x")
+	v2 := r.CounterVec("test_vec_total", "h", "op").With("x")
+	if v1 != v2 {
+		t.Fatal("re-resolving the same vec series returned a different handle")
+	}
+	v1.Inc()
+	if v2.Value() != 1 {
+		t.Fatal("vec handles do not share state")
+	}
+}
+
+func TestRegisterTypeConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("test_conflict", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering the same name with a different type did not panic")
+		}
+	}()
+	r.Gauge("test_conflict", "h")
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := New()
+	c := r.Counter("test_off_total", "h")
+	h := r.Histogram("test_off_seconds", "h", LatencyBuckets)
+	r.SetEnabled(false)
+	c.Add(10)
+	h.Observe(0.5)
+	if c.Value() != 0 {
+		t.Fatal("disabled counter recorded")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	h.Observe(0.5)
+	if c.Value() != 1 {
+		t.Fatal("re-enabled counter did not record")
+	}
+	if hs := h.snapshot(); hs.Count != 1 {
+		t.Fatalf("re-enabled histogram count = %d, want 1", hs.Count)
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var r *Registry
+	r.SetEnabled(true)
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	r.Counter("x", "h").Inc()
+	r.Gauge("x", "h").Set(1)
+	r.Histogram("x", "h", LatencyBuckets).Observe(1)
+	r.CounterVec("x", "h", "l").With("v").Inc()
+	var l *SpanLog
+	l.Record("s", "edge", "draw", nil)
+	if got := l.Span("s"); got != nil {
+		t.Fatal("nil span log returned events")
+	}
+	if got := r.Snapshot(); len(got.Families) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+// TestConcurrentRegistryAccess hammers registration, updates, and
+// snapshots from many goroutines — the -race coverage the satellite
+// asks for.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := New()
+	hv := r.HistogramVec("test_conc_seconds", "h", LatencyBuckets, "op")
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := []string{"draw", "stream", "assign"}
+			h := hv.With(ops[w%len(ops)])
+			c := r.Counter("test_conc_total", "h")
+			g := r.Gauge("test_conc_depth", "h")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) * 0.001)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Total("test_conc_total"); got != workers*iters {
+		t.Fatalf("concurrent counter total = %g, want %d", got, workers*iters)
+	}
+	if got := s.Total("test_conc_seconds"); got != workers*iters {
+		t.Fatalf("concurrent histogram count = %g, want %d", got, workers*iters)
+	}
+}
+
+func TestFuncMetricsAndCollectHooks(t *testing.T) {
+	r := New()
+	ext := 0.0
+	r.CounterFunc("test_fn_total", "h", func() float64 { return ext })
+	g := r.Gauge("test_hooked", "h")
+	r.OnCollect(func() { g.Set(42) })
+	ext = 7
+	s := r.Snapshot()
+	if got := s.Total("test_fn_total"); got != 7 {
+		t.Fatalf("func counter = %g, want 7", got)
+	}
+	if got := s.Total("test_hooked"); got != 42 {
+		t.Fatalf("collect hook gauge = %g, want 42", got)
+	}
+}

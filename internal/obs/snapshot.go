@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Snapshot is a registry materialized at one instant — the JSON wire
+// form served by /ctl/metrics and merged fleet-wide by the coordinator.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family with all its series.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Type   string           `json:"type"`
+	Labels []string         `json:"labels,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one label-value combination's state.
+type SeriesSnapshot struct {
+	LabelValues []string           `json:"label_values,omitempty"`
+	Value       float64            `json:"value,omitempty"`
+	Hist        *HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// HistogramSnapshot is a materialized histogram: per-bucket counts
+// (last entry is the +Inf bucket), plus the quantiles extracted by
+// linear interpolation within buckets.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket
+// counts, interpolating linearly within the containing bucket — the
+// same estimate Prometheus' histogram_quantile computes. The +Inf
+// bucket clamps to the highest finite bound.
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) { // +Inf bucket: clamp
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+func (h *HistogramSnapshot) refreshQuantiles() {
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
+}
+
+// Merge adds o's buckets into h bucket-wise. The bounds must match —
+// every process shares the canonical bucket layouts, so a mismatch is
+// a real version skew worth surfacing.
+func (h *HistogramSnapshot) Merge(o *HistogramSnapshot) error {
+	if o == nil {
+		return nil
+	}
+	if !slices.Equal(h.Bounds, o.Bounds) || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("obs: histogram bounds mismatch (%d vs %d buckets)", len(h.Bounds), len(o.Bounds))
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+	h.refreshQuantiles()
+	return nil
+}
+
+// Merge folds o into s: same-name families have their matching series
+// summed (counters and gauges add; histograms merge bucket-wise),
+// unseen families and series are appended. Histograms with mismatched
+// bounds are skipped rather than corrupted. The result stays sorted by
+// family name.
+func (s *Snapshot) Merge(o Snapshot) {
+	byName := make(map[string]int, len(s.Families))
+	for i, f := range s.Families {
+		byName[f.Name] = i
+	}
+	for _, of := range o.Families {
+		i, ok := byName[of.Name]
+		if !ok || s.Families[i].Type != of.Type {
+			if !ok {
+				byName[of.Name] = len(s.Families)
+				s.Families = append(s.Families, cloneFamily(of))
+			}
+			continue
+		}
+		f := &s.Families[i]
+		bySeries := make(map[string]int, len(f.Series))
+		for j, se := range f.Series {
+			bySeries[seriesKey(se.LabelValues)] = j
+		}
+		for _, ose := range of.Series {
+			j, ok := bySeries[seriesKey(ose.LabelValues)]
+			if !ok {
+				bySeries[seriesKey(ose.LabelValues)] = len(f.Series)
+				f.Series = append(f.Series, cloneSeries(ose))
+				continue
+			}
+			se := &f.Series[j]
+			if se.Hist != nil {
+				_ = se.Hist.Merge(ose.Hist)
+				continue
+			}
+			se.Value += ose.Value
+		}
+	}
+	slices.SortFunc(s.Families, func(a, b FamilySnapshot) int {
+		switch {
+		case a.Name < b.Name:
+			return -1
+		case a.Name > b.Name:
+			return 1
+		}
+		return 0
+	})
+}
+
+// Family returns the named family snapshot, or nil.
+func (s *Snapshot) Family(name string) *FamilySnapshot {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Total sums every series value of the named counter/gauge family
+// (histograms contribute their observation counts).
+func (s *Snapshot) Total(name string) float64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	var t float64
+	for _, se := range f.Series {
+		if se.Hist != nil {
+			t += float64(se.Hist.Count)
+			continue
+		}
+		t += se.Value
+	}
+	return t
+}
+
+func seriesKey(lvs []string) string {
+	k := ""
+	for i, v := range lvs {
+		if i > 0 {
+			k += "\xff"
+		}
+		k += v
+	}
+	return k
+}
+
+func cloneFamily(f FamilySnapshot) FamilySnapshot {
+	cp := f
+	cp.Labels = append([]string(nil), f.Labels...)
+	cp.Series = make([]SeriesSnapshot, len(f.Series))
+	for i, se := range f.Series {
+		cp.Series[i] = cloneSeries(se)
+	}
+	return cp
+}
+
+func cloneSeries(se SeriesSnapshot) SeriesSnapshot {
+	cp := se
+	cp.LabelValues = append([]string(nil), se.LabelValues...)
+	if se.Hist != nil {
+		h := *se.Hist
+		h.Bounds = append([]float64(nil), se.Hist.Bounds...)
+		h.Counts = append([]uint64(nil), se.Hist.Counts...)
+		cp.Hist = &h
+	}
+	return cp
+}

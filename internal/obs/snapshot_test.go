@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_q_seconds", "h", []float64{0.01, 0.1, 1})
+	// 90 observations in (0, 0.01], 9 in (0.01, 0.1], 1 in (0.1, 1].
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(0.5)
+	hs := h.snapshot()
+	if hs.Count != 100 {
+		t.Fatalf("count = %d, want 100", hs.Count)
+	}
+	// p50 interpolates inside the first bucket: rank 50 of 90 → 5.6ms.
+	if want := 0.01 * 50 / 90; math.Abs(hs.P50-want) > 1e-9 {
+		t.Fatalf("p50 = %g, want %g", hs.P50, want)
+	}
+	// p95 lands in the second bucket (cumulative 90 → 99).
+	if hs.P95 <= 0.01 || hs.P95 > 0.1 {
+		t.Fatalf("p95 = %g, want in (0.01, 0.1]", hs.P95)
+	}
+	// p99 < p-max: the last observation is in the third bucket.
+	if hs.P99 > 1 || hs.P99 <= 0.01 {
+		t.Fatalf("p99 = %g out of range", hs.P99)
+	}
+	if got := hs.Quantile(1); got <= 0.1 || got > 1 {
+		t.Fatalf("p100 = %g, want in (0.1, 1]", got)
+	}
+	if math.Abs(hs.Sum-(90*0.005+9*0.05+0.5)) > 1e-9 {
+		t.Fatalf("sum = %g", hs.Sum)
+	}
+}
+
+func TestHistogramQuantileInfBucketClamps(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_inf_seconds", "h", []float64{0.01, 0.1})
+	h.Observe(5) // lands in +Inf
+	hs := h.snapshot()
+	if hs.Counts[len(hs.Counts)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", hs.Counts[len(hs.Counts)-1])
+	}
+	if got := hs.Quantile(0.99); got != 0.1 {
+		t.Fatalf("quantile in +Inf bucket = %g, want clamp to 0.1", got)
+	}
+}
+
+func TestHistogramMergeBucketwise(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1}
+	a := &HistogramSnapshot{Bounds: bounds, Counts: []uint64{5, 2, 0, 1}, Sum: 1.5, Count: 8}
+	b := &HistogramSnapshot{Bounds: bounds, Counts: []uint64{1, 1, 1, 0}, Sum: 0.3, Count: 3}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{6, 3, 1, 1}
+	for i, c := range a.Counts {
+		if c != want[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	if a.Count != 11 || math.Abs(a.Sum-1.8) > 1e-9 {
+		t.Fatalf("count/sum = %d/%g, want 11/1.8", a.Count, a.Sum)
+	}
+	if a.P99 == 0 {
+		t.Fatal("merge did not refresh quantiles")
+	}
+	bad := &HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("merging mismatched bounds did not error")
+	}
+}
+
+func TestSnapshotMergeFleetView(t *testing.T) {
+	w1, w2 := New(), New()
+	for i, r := range []*Registry{w1, w2} {
+		c := r.Counter("test_draws_total", "draws")
+		c.Add(uint64(10 * (i + 1)))
+		h := r.Histogram("test_draw_seconds", "lat", []float64{0.01, 0.1})
+		h.Observe(0.005)
+		h.Observe(0.05)
+		r.CounterVec("test_rpc_total", "rpc", "op").With("draw").Add(uint64(i + 1))
+	}
+	w2.Counter("test_only2_total", "h").Inc()
+
+	fleet := w1.Snapshot()
+	fleet.Merge(w2.Snapshot())
+
+	if got := fleet.Total("test_draws_total"); got != 30 {
+		t.Fatalf("merged counter = %g, want 30", got)
+	}
+	f := fleet.Family("test_draw_seconds")
+	if f == nil || f.Series[0].Hist == nil {
+		t.Fatal("merged histogram family missing")
+	}
+	if f.Series[0].Hist.Count != 4 {
+		t.Fatalf("merged histogram count = %d, want 4", f.Series[0].Hist.Count)
+	}
+	if f.Series[0].Hist.P99 == 0 {
+		t.Fatal("merged histogram quantiles not extracted")
+	}
+	if got := fleet.Total("test_rpc_total"); got != 3 {
+		t.Fatalf("merged labeled counter = %g, want 3", got)
+	}
+	if got := fleet.Total("test_only2_total"); got != 1 {
+		t.Fatalf("family unique to one worker lost in merge: %g", got)
+	}
+	for i := 1; i < len(fleet.Families); i++ {
+		if fleet.Families[i-1].Name > fleet.Families[i].Name {
+			t.Fatal("merged snapshot not sorted by family name")
+		}
+	}
+}
+
+func TestSnapshotMergeDoesNotAliasSource(t *testing.T) {
+	src := New()
+	src.Histogram("test_alias_seconds", "h", []float64{1}).Observe(0.5)
+	snap := src.Snapshot()
+	var fleet Snapshot
+	fleet.Merge(snap)
+	fleet.Family("test_alias_seconds").Series[0].Hist.Counts[0] = 99
+	if snap.Family("test_alias_seconds").Series[0].Hist.Counts[0] == 99 {
+		t.Fatal("merge aliased the source snapshot's buckets")
+	}
+}

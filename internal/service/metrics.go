@@ -1,13 +1,14 @@
 package service
 
 import (
-	"fmt"
 	"io"
 	"math"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/keypool"
 	"repro/internal/keystream"
+	"repro/internal/obs"
 )
 
 // SessionMetrics is a point-in-time snapshot of one session's telemetry.
@@ -118,24 +119,24 @@ func (sv *Service) Metrics() ServiceMetrics {
 }
 
 // WriteProm renders the snapshot in the Prometheus text exposition
-// format (counters suffixed _total, gauges bare), one family per metric.
+// format (counters suffixed _total, gauges bare), one family per
+// metric, with # HELP / # TYPE headers and escaped label values (a
+// session Name is client-supplied and may contain quotes or newlines).
 func (m ServiceMetrics) WriteProm(w io.Writer) {
-	fmt.Fprintf(w, "# TYPE thinaird_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "thinaird_uptime_seconds %g\n", m.UptimeSeconds)
-	fmt.Fprintf(w, "# TYPE thinaird_sessions_running gauge\n")
-	fmt.Fprintf(w, "thinaird_sessions_running %d\n", m.Running)
-	fmt.Fprintf(w, "# TYPE thinaird_sessions_queued gauge\n")
-	fmt.Fprintf(w, "thinaird_sessions_queued %d\n", m.Queued)
-	fmt.Fprintf(w, "# TYPE thinaird_sessions_created_total counter\n")
-	fmt.Fprintf(w, "thinaird_sessions_created_total %d\n", m.Created)
-	fmt.Fprintf(w, "# TYPE thinaird_sessions_rejected_total counter\n")
-	fmt.Fprintf(w, "thinaird_sessions_rejected_total %d\n", m.Rejected)
-	fmt.Fprintf(w, "# TYPE thinaird_sessions_removed_total counter\n")
-	fmt.Fprintf(w, "thinaird_sessions_removed_total %d\n", m.Removed)
-	fmt.Fprintf(w, "# TYPE thinaird_sessions_failed_total counter\n")
-	fmt.Fprintf(w, "thinaird_sessions_failed_total %d\n", m.Failed)
+	pw := obs.NewPromWriter(w)
+	daemon := func(name, help, typ string, v float64) {
+		pw.Family(name, help, typ)
+		pw.Sample(name, v)
+	}
+	daemon("thinaird_uptime_seconds", "Seconds since the daemon started.", "gauge", m.UptimeSeconds)
+	daemon("thinaird_sessions_running", "Sessions currently running.", "gauge", float64(m.Running))
+	daemon("thinaird_sessions_queued", "Sessions admitted but waiting for a runner slot.", "gauge", float64(m.Queued))
+	daemon("thinaird_sessions_created_total", "Sessions admitted over the daemon's lifetime.", "counter", float64(m.Created))
+	daemon("thinaird_sessions_rejected_total", "Session creations refused by admission control.", "counter", float64(m.Rejected))
+	daemon("thinaird_sessions_removed_total", "Sessions torn down and forgotten.", "counter", float64(m.Removed))
+	daemon("thinaird_sessions_failed_total", "Sessions that terminated in the failed state.", "counter", float64(m.Failed))
 
-	emit := func(family, typ string, value func(SessionMetrics) (float64, bool)) {
+	emit := func(family, help, typ string, value func(SessionMetrics) (float64, bool)) {
 		first := true
 		for _, s := range m.Sessions {
 			v, ok := value(s)
@@ -143,29 +144,38 @@ func (m ServiceMetrics) WriteProm(w io.Writer) {
 				continue
 			}
 			if first {
-				fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+				pw.Family(family, help, typ)
 				first = false
 			}
-			fmt.Fprintf(w, "%s{session=%q,name=%q} %g\n", family, fmt.Sprint(s.ID), s.Name, v)
+			pw.Sample(family, v, "session", strconv.FormatUint(uint64(s.ID), 10), "name", s.Name)
 		}
 	}
 	always := func(f func(SessionMetrics) float64) func(SessionMetrics) (float64, bool) {
 		return func(s SessionMetrics) (float64, bool) { return f(s), true }
 	}
-	emit("thinaird_session_rounds_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Rounds) }))
-	emit("thinaird_session_productive_rounds_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Productive) }))
-	emit("thinaird_session_refreshes_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Refreshes) }))
-	emit("thinaird_session_refresh_errors_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.RefreshErrors) }))
-	emit("thinaird_session_secret_bytes_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.SecretBytes) }))
-	emit("thinaird_session_pool_available_bytes", "gauge", always(func(s SessionMetrics) float64 { return float64(s.Pool.Available) }))
-	emit("thinaird_session_pool_drawn_bytes_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Pool.Drawn) }))
-	emit("thinaird_session_pool_low_water_hits_total", "counter", always(func(s SessionMetrics) float64 { return float64(s.Pool.LowWaterHits) }))
-	emit("thinaird_session_pool_closed", "gauge", always(func(s SessionMetrics) float64 {
-		if s.Pool.Closed {
-			return 1
-		}
-		return 0
-	}))
+	emit("thinaird_session_rounds_total", "Protocol rounds executed by the session.", "counter",
+		always(func(s SessionMetrics) float64 { return float64(s.Rounds) }))
+	emit("thinaird_session_productive_rounds_total", "Rounds that certified secret bits.", "counter",
+		always(func(s SessionMetrics) float64 { return float64(s.Productive) }))
+	emit("thinaird_session_refreshes_total", "Background refresh batches attempted.", "counter",
+		always(func(s SessionMetrics) float64 { return float64(s.Refreshes) }))
+	emit("thinaird_session_refresh_errors_total", "Refresh batches that failed.", "counter",
+		always(func(s SessionMetrics) float64 { return float64(s.RefreshErrors) }))
+	emit("thinaird_session_secret_bytes_total", "Key material deposited into the pool.", "counter",
+		always(func(s SessionMetrics) float64 { return float64(s.SecretBytes) }))
+	emit("thinaird_session_pool_available_bytes", "Undrawn key material in the pool.", "gauge",
+		always(func(s SessionMetrics) float64 { return float64(s.Pool.Available) }))
+	emit("thinaird_session_pool_drawn_bytes_total", "Key material drawn from the pool.", "counter",
+		always(func(s SessionMetrics) float64 { return float64(s.Pool.Drawn) }))
+	emit("thinaird_session_pool_low_water_hits_total", "Times the pool fell below its refresh watermark.", "counter",
+		always(func(s SessionMetrics) float64 { return float64(s.Pool.LowWaterHits) }))
+	emit("thinaird_session_pool_closed", "1 when the pool is zeroized and closed.", "gauge",
+		always(func(s SessionMetrics) float64 {
+			if s.Pool.Closed {
+				return 1
+			}
+			return 0
+		}))
 	streamStat := func(f func(keystream.Stats) float64) func(SessionMetrics) (float64, bool) {
 		return func(s SessionMetrics) (float64, bool) {
 			if s.Stream == nil {
@@ -174,15 +184,31 @@ func (m ServiceMetrics) WriteProm(w io.Writer) {
 			return f(*s.Stream), true
 		}
 	}
-	emit("thinaird_session_stream_blocks_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.Blocks) }))
-	emit("thinaird_session_stream_block_errors_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.BlockErrors) }))
-	emit("thinaird_session_stream_bytes_read_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.BytesRead) }))
-	emit("thinaird_session_stream_verify_mismatch_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.VerifyMismatch) }))
-	emit("thinaird_session_stream_shed_frames_total", "counter", streamStat(func(st keystream.Stats) float64 { return float64(st.ShedFrames) }))
-	emit("thinaird_session_eve_reliability", "gauge", func(s SessionMetrics) (float64, bool) {
-		if s.EveSecretDims == 0 || math.IsNaN(s.EveReliability) {
-			return 0, false
-		}
-		return s.EveReliability, true
-	})
+	emit("thinaird_session_stream_blocks_total", "Keystream blocks derived.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.Blocks) }))
+	emit("thinaird_session_stream_block_errors_total", "Keystream block derivations that failed.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.BlockErrors) }))
+	emit("thinaird_session_stream_bytes_read_total", "Bytes read from the keystream.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.BytesRead) }))
+	emit("thinaird_session_stream_verify_mismatch_total", "Per-round secret verifications that diverged.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.VerifyMismatch) }))
+	emit("thinaird_session_stream_shed_frames_total", "Frames dropped on overflowing member inboxes.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.ShedFrames) }))
+	emit("thinaird_session_stream_cache_hits_total", "Block acquisitions served from the resident cache.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.CacheHits) }))
+	emit("thinaird_session_stream_cache_misses_total", "Block acquisitions that created or waited for a derivation.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.CacheMisses) }))
+	emit("thinaird_session_stream_cache_evictions_total", "Resident blocks evicted by the LRU.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.CacheEvictions) }))
+	emit("thinaird_session_stream_health_skips_total", "Report waits skipped for unresponsive members.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.HealthSkips) }))
+	emit("thinaird_session_stream_health_probes_total", "Liveness re-probes of skipped members.", "counter",
+		streamStat(func(st keystream.Stats) float64 { return float64(st.HealthProbes) }))
+	emit("thinaird_session_eve_reliability", "Eve-bound reliability estimate from the wire observer.", "gauge",
+		func(s SessionMetrics) (float64, bool) {
+			if s.EveSecretDims == 0 || math.IsNaN(s.EveReliability) {
+				return 0, false
+			}
+			return s.EveReliability, true
+		})
 }

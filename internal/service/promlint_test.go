@@ -1,0 +1,77 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsPromLint scrapes the daemon's /metrics endpoint with a live
+// session whose name needs escaping and runs the exposition through the
+// promlint-style validator: every family must carry # HELP / # TYPE,
+// label values must be escaped, counters must end in _total. This is the
+// satellite fix for the old renderer, which emitted TYPE-only headers
+// and Go-quoted (not exposition-escaped) label values.
+func TestMetricsPromLint(t *testing.T) {
+	reg := obs.New()
+	sv := New(Config{
+		MaxSessions: 1, DrainTimeout: 5 * time.Second,
+		Obs: reg, Spans: obs.NewSpanLog(64),
+	})
+	defer sv.Shutdown(context.Background())
+	h := sv.Handler()
+
+	spec := fastSpec(404)
+	spec.Name = "evil\"name\\with\nnastiness"
+	s, err := sv.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the instrumented handlers so the histogram families have
+	// samples (one ok draw, one error draw, one stream range).
+	doJSON(t, h, "POST", "/v1/sessions/1/draw?bytes=32", "", http.StatusOK)
+	doJSON(t, h, "POST", "/v1/sessions/1/draw?bytes=0", "", http.StatusBadRequest)
+	req := httptest.NewRequest("GET", "/v1/sessions/1/stream?offset=0&len=64", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status %d", rec.Code)
+	}
+
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if issues := obs.Lint(strings.NewReader(body)); len(issues) > 0 {
+		t.Fatalf("/metrics is not lint-clean:\n%s\nexposition:\n%s",
+			strings.Join(issues, "\n"), body)
+	}
+	for _, want := range []string{
+		"# HELP thinaird_uptime_seconds ",
+		"# TYPE thinaird_draw_seconds histogram",
+		"thinaird_draw_seconds_bucket{outcome=\"ok\",le=\"+Inf\"}",
+		"thinaird_draw_seconds_bucket{outcome=\"error\",le=\"+Inf\"}",
+		"thinaird_stream_range_seconds_count{outcome=\"ok\"}",
+		"thinaird_session_stream_cache_hits_total",
+		"thinaird_session_stream_health_skips_total",
+		"thinaird_keystream_block_derive_seconds_count",
+		`name="evil\"name\\with\nnastiness"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

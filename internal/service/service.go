@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrSaturated is returned by Create when the admission queue is full:
@@ -43,6 +45,24 @@ type Config struct {
 	// DrainTimeout is how long a closing session may spend finishing its
 	// in-flight refresh batch before being cancelled hard. 0 means 10s.
 	DrainTimeout time.Duration
+	// Obs is the metrics registry the daemon's hot paths (HTTP draws,
+	// stream ranges, the engine and keystream underneath) observe into.
+	// Nil selects the process-wide obs.Default(). Cluster workers pass a
+	// private registry so the coordinator's fleet merge never
+	// double-counts in-process workers.
+	Obs *obs.Registry
+	// Spans is the ring buffer draw/stream span events are recorded to.
+	// Nil selects obs.DefaultSpans().
+	Spans *obs.SpanLog
+}
+
+func (c *Config) fillObs() {
+	if c.Obs == nil {
+		c.Obs = obs.Default()
+	}
+	if c.Spans == nil {
+		c.Spans = obs.DefaultSpans()
+	}
 }
 
 func (c *Config) fill() {
@@ -75,18 +95,36 @@ type Service struct {
 	rejected atomic.Int64
 	removed  atomic.Int64
 	failed   atomic.Int64
+
+	obs   *obs.Registry
+	spans *obs.SpanLog
+	// Draw / stream-range latency handles, resolved once per outcome so
+	// the per-request cost is one enabled-check plus one Observe.
+	drawOK, drawErr     *obs.Histogram
+	streamOK, streamErr *obs.Histogram
 }
 
 // New starts a daemon with cfg.MaxSessions runner goroutines. Call
 // Shutdown to stop it.
 func New(cfg Config) *Service {
 	cfg.fill()
+	cfg.fillObs()
 	sv := &Service{
 		cfg:      cfg,
 		start:    time.Now(),
 		sessions: make(map[uint32]*Session),
 		nextID:   1,
+		obs:      cfg.Obs,
+		spans:    cfg.Spans,
 	}
+	drawLat := sv.obs.HistogramVec("thinaird_draw_seconds",
+		"HTTP draw handler latency, by outcome.", obs.LatencyBuckets, "outcome")
+	streamLat := sv.obs.HistogramVec("thinaird_stream_range_seconds",
+		"HTTP stream-range handler latency, by outcome.", obs.LatencyBuckets, "outcome")
+	sv.drawOK = drawLat.With("ok")
+	sv.drawErr = drawLat.With("error")
+	sv.streamOK = streamLat.With("ok")
+	sv.streamErr = streamLat.With("error")
 	sv.notEmpty = sync.NewCond(&sv.mu)
 	sv.wg.Add(cfg.MaxSessions)
 	for i := 0; i < cfg.MaxSessions; i++ {
@@ -263,3 +301,9 @@ func (sv *Service) Shutdown(ctx context.Context) error {
 
 // Uptime reports how long the daemon has been running.
 func (sv *Service) Uptime() time.Duration { return time.Since(sv.start) }
+
+// Obs returns the daemon's metrics registry (never nil).
+func (sv *Service) Obs() *obs.Registry { return sv.obs }
+
+// Spans returns the daemon's span ring (never nil).
+func (sv *Service) Spans() *obs.SpanLog { return sv.spans }

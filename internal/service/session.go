@@ -499,6 +499,7 @@ func (s *Session) runStream() {
 		Rotate:       s.spec.Rotate,
 		BlockSize:    s.spec.StreamBlock,
 		Timeout:      s.spec.Timeout,
+		Obs:          s.svc.obs,
 	})
 	if err != nil {
 		s.setErr(err)
@@ -586,6 +587,7 @@ func (s *Session) refresh(eps []transport.Endpoint, chains []*auth.KeyChain) err
 			// already diversified per round inside the engine, so the seed
 			// stays fixed while FirstRound advances.
 			Seed: s.spec.Seed,
+			Obs:  s.svc.obs,
 		},
 		Session:    s.ID,
 		Timeout:    s.spec.Timeout,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/gf"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/wire"
 )
@@ -70,7 +71,21 @@ func RunNode(ctx context.Context, ep Endpoint, cfg NodeConfig) (*NodeResult, err
 			cfg.FirstRound, cfg.FirstRound+cfg.Rounds-1)
 	}
 	n := &node{cfg: cfg, ep: ep, res: &NodeResult{}}
+	// The distributed runtime shares the in-process engine's round-timing
+	// family: a worker's rounds land in the same fleet histogram whether
+	// the session runs lockstep or over a bus. Resolved once per call;
+	// nil (no registry) keeps the loop clock-free.
+	var roundLat *obs.Histogram
+	if cfg.Obs.Enabled() {
+		roundLat = cfg.Obs.Histogram("thinaird_engine_round_seconds",
+			"Wall time of one protocol round (per node running the engine).", obs.LatencyBuckets)
+	}
+	timed := roundLat != nil
 	for round := cfg.FirstRound; round < cfg.FirstRound+cfg.Rounds; round++ {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		leader := 0
 		if cfg.Rotate {
 			leader = round % cfg.Terminals
@@ -83,6 +98,9 @@ func RunNode(ctx context.Context, ep Endpoint, cfg NodeConfig) (*NodeResult, err
 		}
 		if err != nil {
 			return nil, fmt.Errorf("transport: node %d round %d: %w", cfg.Self, round, err)
+		}
+		if timed {
+			roundLat.ObserveSince(t0)
 		}
 		n.res.Rounds++
 	}
