@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gate"
+	"repro/internal/obs"
+)
+
+// The gate concurrency benchmark: how many persistent frame-protocol
+// clients one gate process sustains, and what a key draw costs through
+// the multiplexed connection under that population.
+//
+// Mock clients connect over in-process net.Pipe pairs — no kernel socket
+// limits, so the population measures the gate's own per-connection cost:
+// one agent goroutine server-side, zero goroutines client-side (the
+// frame Client reads on demand; whichever caller awaits a response takes
+// the reader role). Heartbeats are disabled so an idle connection costs
+// no timers and no wakeups — exactly the configuration the population
+// arm is about. The backend is a stub producing bytes by cheap counter
+// mixing: draw latency then isolates framing, multiplexing and
+// scheduling, not key derivation.
+
+type gateBenchReport struct {
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	NumCPU   int    `json:"num_cpu"`
+	MaxProcs int    `json:"gomaxprocs"`
+
+	// Connections held open concurrently when the draw phase ran.
+	Connections int `json:"connections"`
+	// HeapMB is the process heap after the population is established —
+	// per-connection footprint is HeapMB/Connections.
+	HeapMB float64 `json:"heap_mb"`
+
+	// Draw phase: DrawWorkers concurrent callers spread across the
+	// population, Draws total requests of DrawBytes each.
+	DrawWorkers int     `json:"draw_workers"`
+	Draws       int     `json:"draws"`
+	DrawBytes   int     `json:"draw_bytes"`
+	DrawsPerSec float64 `json:"draws_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// gateStubBackend derives key bytes by splitmix-style counter mixing —
+// a few ns per draw, so the bench isolates the gate itself.
+type gateStubBackend struct{}
+
+func (gateStubBackend) Draw(_ context.Context, session uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	var word [8]byte
+	for i := 0; i < n; i += 8 {
+		x := session + uint64(i) + 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		binary.LittleEndian.PutUint64(word[:], x)
+		copy(out[i:], word[:])
+	}
+	return out, nil
+}
+
+func (b gateStubBackend) StreamTo(ctx context.Context, session uint64, off, n int64, w io.Writer) (int64, error) {
+	key, _ := b.Draw(ctx, session+uint64(off), int(n))
+	m, err := w.Write(key)
+	return int64(m), err
+}
+
+func gateBench(out string, conns int) {
+	rep := gateBenchReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), MaxProcs: runtime.GOMAXPROCS(0),
+		Connections: conns,
+		DrawWorkers: 256,
+		DrawBytes:   32,
+	}
+
+	g := gate.New(gate.Config{
+		Backend: gateStubBackend{},
+		Obs:     obs.New(),
+		Logf:    func(string, ...any) {},
+	})
+	defer g.Close()
+
+	fmt.Fprintf(os.Stderr, "gate bench: establishing %d connections…\n", conns)
+	clients := make([]*gate.Client, conns)
+	var wg sync.WaitGroup
+	const spawners = 512
+	wg.Add(spawners)
+	var connErr atomic.Value
+	for s := 0; s < spawners; s++ {
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < conns; i += spawners {
+				server, cl := net.Pipe()
+				go g.ServeConn(server)
+				c, err := gate.NewClient(cl)
+				if err != nil {
+					connErr.Store(err)
+					return
+				}
+				clients[i] = c
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := connErr.Load(); err != nil {
+		fmt.Fprintln(os.Stderr, "thinair-bench: gate:", err)
+		os.Exit(1)
+	}
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.HeapMB = float64(ms.HeapAlloc) / (1 << 20)
+	fmt.Fprintf(os.Stderr, "gate bench: %d connections up, heap %.1f MB (%.1f KB/conn)\n",
+		conns, rep.HeapMB, rep.HeapMB*1024/float64(conns))
+
+	// Draw phase: every worker owns a disjoint stripe of the population
+	// and cycles through it, so draws spread across all connections.
+	drawsPerWorker := 1000
+	rep.Draws = rep.DrawWorkers * drawsPerWorker
+	lat := make([][]time.Duration, rep.DrawWorkers)
+	ctx := context.Background()
+	start := time.Now()
+	wg.Add(rep.DrawWorkers)
+	for wk := 0; wk < rep.DrawWorkers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			samples := make([]time.Duration, 0, drawsPerWorker)
+			for i := 0; i < drawsPerWorker; i++ {
+				c := clients[(wk+i*rep.DrawWorkers)%conns]
+				t0 := time.Now()
+				if _, err := c.Draw(ctx, uint64(wk), rep.DrawBytes); err != nil {
+					connErr.Store(err)
+					return
+				}
+				samples = append(samples, time.Since(t0))
+			}
+			lat[wk] = samples
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := connErr.Load(); err != nil {
+		fmt.Fprintln(os.Stderr, "thinair-bench: gate draw:", err)
+		os.Exit(1)
+	}
+
+	var all []time.Duration
+	for _, s := range lat {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.DrawsPerSec = float64(len(all)) / elapsed.Seconds()
+	rep.P50Ms = float64(all[len(all)/2]) / float64(time.Millisecond)
+	rep.P99Ms = float64(all[len(all)*99/100]) / float64(time.Millisecond)
+
+	for _, c := range clients {
+		c.Close()
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thinair-bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "thinair-bench:", err)
+		os.Exit(1)
+	}
+	_ = f.Close()
+	fmt.Printf("gate bench: %d conns, %d draws in %.2fs → %.0f draws/s, p50 %.3f ms, p99 %.3f ms\n",
+		conns, len(all), elapsed.Seconds(), rep.DrawsPerSec, rep.P50Ms, rep.P99Ms)
+}

@@ -27,18 +27,20 @@ import (
 
 func main() {
 	var (
-		figure   = flag.Int("figure", 0, "regenerate figure 1 or 2")
-		headline = flag.Bool("headline", false, "regenerate the n=8 headline numbers")
-		rotation = flag.Bool("rotation", false, "run the §3.2 rotation worst-case check")
-		ablation = flag.String("ablation", "", "run an ablation: estimators, allocation, interference, rotation, selfjam, burstiness, cancelling-eve")
-		gfJSON   = flag.String("gf-json", "", "run the GF kernel benchmark matrix and write the results as JSON to this file")
-		strJSON  = flag.String("stream-json", "", "run the bulk-stream vs per-draw HTTP benchmark and write the results as JSON to this file")
-		obsJSON  = flag.String("obs-json", "", "run the observability overhead benchmark and write the results as JSON to this file")
-		all      = flag.Bool("all", false, "run everything")
-		quick    = flag.Bool("quick", false, "subsample placements for a fast run")
-		seed     = flag.Int64("seed", 11, "experiment seed")
-		n        = flag.Int("n", 5, "group size for ablations and the rotation check")
-		workers  = flag.Int("workers", 0, "experiments evaluated concurrently (0 = one per CPU); output is identical for any value")
+		figure    = flag.Int("figure", 0, "regenerate figure 1 or 2")
+		headline  = flag.Bool("headline", false, "regenerate the n=8 headline numbers")
+		rotation  = flag.Bool("rotation", false, "run the §3.2 rotation worst-case check")
+		ablation  = flag.String("ablation", "", "run an ablation: estimators, allocation, interference, rotation, selfjam, burstiness, cancelling-eve")
+		gfJSON    = flag.String("gf-json", "", "run the GF kernel benchmark matrix and write the results as JSON to this file")
+		strJSON   = flag.String("stream-json", "", "run the bulk-stream vs per-draw HTTP benchmark and write the results as JSON to this file")
+		obsJSON   = flag.String("obs-json", "", "run the observability overhead benchmark and write the results as JSON to this file")
+		gateJSON  = flag.String("gate-json", "", "run the gate concurrency benchmark and write the results as JSON to this file")
+		gateConns = flag.Int("gate-conns", 100000, "concurrent mock gate connections for -gate-json")
+		all       = flag.Bool("all", false, "run everything")
+		quick     = flag.Bool("quick", false, "subsample placements for a fast run")
+		seed      = flag.Int64("seed", 11, "experiment seed")
+		n         = flag.Int("n", 5, "group size for ablations and the rotation check")
+		workers   = flag.Int("workers", 0, "experiments evaluated concurrently (0 = one per CPU); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -59,6 +61,10 @@ func main() {
 	if *obsJSON != "" {
 		ran = true
 		obsBench(*obsJSON)
+	}
+	if *gateJSON != "" {
+		ran = true
+		gateBench(*gateJSON, *gateConns)
 	}
 	if *all || *figure == 1 {
 		ran = true

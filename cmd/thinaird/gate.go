@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/gate"
+	"repro/internal/obs"
+)
+
+// runGate is `thinaird gate`: the persistent-connection front tier. It
+// accepts long-lived frame-protocol connections (TCP, plus WebSocket
+// upgrades on -ws-addr), resolves session ownership once against the
+// coordinator's /v1/cluster/owners surface, caches it, and serves draws
+// and stream ranges straight from owning workers — the coordinator never
+// relays key material for gate clients.
+func runGate(args []string) {
+	fs := flag.NewFlagSet("thinaird gate", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":9310", "frame-protocol TCP listen address")
+		coord   = fs.String("coordinator", "http://127.0.0.1:9309", "coordinator base URL for ownership resolution")
+		hb      = fs.Duration("heartbeat", 15*time.Second, "heartbeat interval advertised to clients (0 disables kicking)")
+		watch   = fs.Duration("watch", 500*time.Millisecond, "ownership-epoch poll period (<0 disables the watcher)")
+		pending = fs.Int("max-pending", 32, "in-flight requests per connection before socket backpressure")
+		wsAddr  = fs.String("ws-addr", "", "serve the WebSocket upgrade endpoint /v1/gate on this extra HTTP address")
+		dbg     = fs.String("debug-addr", "", "serve pprof + /debug/trace + /metrics on this extra address")
+	)
+	_ = fs.Parse(args)
+	if *dbg != "" {
+		defer enableDebug(*dbg, obs.Default(), obs.DefaultSpans())()
+	}
+
+	backend := gate.NewClusterBackend(gate.ClusterBackendConfig{
+		Resolver:   gate.NewHTTPResolver(*coord),
+		WatchEvery: *watch,
+	})
+	g := gate.New(gate.Config{
+		Backend:        backend,
+		HeartbeatEvery: *hb,
+		MaxPending:     *pending,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	fatal(err)
+	errc := make(chan error, 2)
+	go func() { errc <- g.Serve(ln) }()
+	fmt.Printf("THINAIRD_GATE_READY addr=%s\n", listenHostPort(ln))
+	fmt.Printf("thinaird: gate on %s resolving via %s\n", ln.Addr(), *coord)
+
+	var wsSrv *http.Server
+	if *wsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/v1/gate", g.WSHandler())
+		wsLn, err := net.Listen("tcp", *wsAddr)
+		if err != nil {
+			_ = g.Close()
+			fatal(err)
+		}
+		wsSrv = &http.Server{Handler: mux}
+		go func() { errc <- wsSrv.Serve(wsLn) }()
+		fmt.Printf("THINAIRD_GATE_WS_READY url=ws://%s/v1/gate\n", listenHostPort(wsLn))
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("thinaird: %v — closing gate connections\n", sig)
+	case err := <-errc:
+		if err != nil {
+			_ = g.Close()
+			_ = backend.Close()
+			fatal(err)
+		}
+	}
+	if wsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = wsSrv.Shutdown(ctx)
+		cancel()
+	}
+	_ = g.Close()
+	_ = backend.Close()
+	fmt.Println("thinaird: gate closed")
+}

@@ -26,6 +26,13 @@
 // The client-mode flags work against a coordinator too — the tiers share
 // the /v1/sessions API shape.
 //
+// Gate mode runs the persistent-connection front tier: long-lived
+// frame-protocol connections (and WebSocket upgrades) multiplexing key
+// draws and stream ranges, served straight from owning workers:
+//
+//	thinaird gate -addr :9310 -coordinator http://localhost:9309
+//	thinaird gate -addr :9310 -ws-addr :9311    # also ws://…:9311/v1/gate
+//
 // Observability: every mode takes -debug-addr to mount pprof,
 // /debug/trace and /metrics on a separate listener, and `thinaird
 // trace` renders a span's edge → worker → engine chain:
@@ -37,6 +44,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -59,6 +68,9 @@ func main() {
 			return
 		case "worker":
 			runWorker(os.Args[2:])
+			return
+		case "gate":
+			runGate(os.Args[2:])
 			return
 		case "trace":
 			runTrace(os.Args[2:])
@@ -158,7 +170,17 @@ func runClient(base string, spec service.SessionSpec, list, create bool, draw ui
 		fatal(err)
 		clientJSON("POST", base+"/v1/sessions", body)
 	case draw != 0:
-		clientJSON("POST", fmt.Sprintf("%s/v1/sessions/%d/draw?bytes=%d", base, draw, drawLen), nil)
+		// Draws go through the unified Client API — the same interface
+		// (and error mapping) the gate's frame protocol serves.
+		c := client.NewHTTP(base)
+		defer c.Close()
+		key, err := c.Draw(context.Background(), uint64(draw), drawLen)
+		fatal(err)
+		out, err := json.MarshalIndent(map[string]any{
+			"session": draw, "bytes": len(key), "key": hex.EncodeToString(key),
+		}, "", "  ")
+		fatal(err)
+		fmt.Printf("%s\n", out)
 	case closeID != 0:
 		clientJSON("DELETE", fmt.Sprintf("%s/v1/sessions/%d", base, closeID), nil)
 	default:

@@ -1,0 +1,257 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/gate"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// streamSpec is a small stream-fed session (no UDP, no observer, no
+// auth): offset-addressable, deterministic for a seed, converges in a
+// couple of seconds.
+func streamSpec(seed int64) service.SessionSpec {
+	return service.SessionSpec{
+		Terminals:    3,
+		Erasure:      0.45,
+		XPerRound:    64,
+		PayloadBytes: 16,
+		Rotate:       true,
+		Seed:         seed,
+		LowWater:     256,
+		TargetDepth:  512,
+		Timeout:      10 * time.Second,
+		Streamed:     true,
+	}
+}
+
+// tier builds one Client implementation over a live stack and hands back
+// a ready stream-fed session. The same assertions run against all
+// three — that equivalence is the point of the unified API.
+type tier struct {
+	name  string
+	setup func(t *testing.T) (client.Client, uint64)
+}
+
+func tiers() []tier {
+	return []tier{
+		{name: "daemon-http", setup: setupDaemonHTTP},
+		{name: "coordinator-http", setup: setupCoordinatorHTTP},
+		{name: "gate-frame", setup: setupGateFrame},
+	}
+}
+
+func setupDaemonHTTP(t *testing.T) (client.Client, uint64) {
+	t.Helper()
+	sv := service.New(service.Config{MaxSessions: 2, DrainTimeout: 5 * time.Second})
+	t.Cleanup(func() { sv.Shutdown(context.Background()) })
+	s, err := sv.Create(streamSpec(7001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(ts.Close)
+	c := client.NewHTTP(ts.URL)
+	t.Cleanup(func() { c.Close() })
+	return c, uint64(s.ID)
+}
+
+func setupCoordinatorHTTP(t *testing.T) (client.Client, uint64) {
+	t.Helper()
+	co := newTestCoordinator(t)
+	info, err := co.Create(streamSpec(7002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(co.Handler())
+	t.Cleanup(ts.Close)
+	c := client.NewHTTP(ts.URL)
+	t.Cleanup(func() { c.Close() })
+	waitDrawable(t, c, info.ID)
+	return c, info.ID
+}
+
+func setupGateFrame(t *testing.T) (client.Client, uint64) {
+	t.Helper()
+	sv := service.New(service.Config{MaxSessions: 2, DrainTimeout: 5 * time.Second})
+	t.Cleanup(func() { sv.Shutdown(context.Background()) })
+	s, err := sv.Create(streamSpec(7003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g := gate.New(gate.Config{
+		Backend: &gate.ServiceBackend{SV: sv},
+		Logf:    func(string, ...any) {},
+	})
+	t.Cleanup(func() { g.Close() })
+	server, clientConn := net.Pipe()
+	go g.ServeConn(server)
+	c, err := gate.NewClient(clientConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, uint64(s.ID)
+}
+
+func newTestCoordinator(t *testing.T) *cluster.Coordinator {
+	t.Helper()
+	co, err := cluster.New(cluster.Config{
+		Workers:         2,
+		WorkerCapacity:  4,
+		HeartbeatEvery:  50 * time.Millisecond,
+		HeartbeatMisses: 3,
+		MaxRestarts:     3,
+		RespawnBackoff:  20 * time.Millisecond,
+		DrainTimeout:    10 * time.Second,
+		Logf:            func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Shutdown(context.Background()) })
+	return co
+}
+
+// waitDrawable polls until the session serves key material (cluster
+// sessions pass through placing before their pool converges).
+func waitDrawable(t *testing.T, c client.Client, session uint64) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Draw(ctx, session, 8); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("session %d never became drawable", session)
+}
+
+// TestClientConformance runs the same behavioural assertions against all
+// three Client implementations.
+func TestClientConformance(t *testing.T) {
+	for _, tr := range tiers() {
+		t.Run(tr.name, func(t *testing.T) {
+			c, session := tr.setup(t)
+			ctx := context.Background()
+
+			t.Run("draw", func(t *testing.T) {
+				a, err := c.Draw(ctx, session, 32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != 32 {
+					t.Fatalf("draw returned %d bytes, want 32", len(a))
+				}
+				b, err := c.Draw(ctx, session, 32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bytes.Equal(a, b) {
+					t.Fatal("two draws returned identical key material")
+				}
+			})
+
+			t.Run("draw-n", func(t *testing.T) {
+				keys, err := c.DrawN(ctx, session, 16, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(keys) != 4 {
+					t.Fatalf("DrawN returned %d keys, want 4", len(keys))
+				}
+				for i, k := range keys {
+					if len(k) != 16 {
+						t.Fatalf("key %d has %d bytes, want 16", i, len(k))
+					}
+					for j := range i {
+						if bytes.Equal(k, keys[j]) {
+							t.Fatalf("keys %d and %d identical", i, j)
+						}
+					}
+				}
+			})
+
+			t.Run("stream-repeatable", func(t *testing.T) {
+				a, err := c.StreamRange(ctx, session, 16, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := c.StreamRange(ctx, session, 16, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatal("same range read twice returned different bytes")
+				}
+				// Offset addressability: a wider read must contain the
+				// narrow one at its offset.
+				wide, err := c.StreamRange(ctx, session, 0, 96)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(wide[16:80], a) {
+					t.Fatal("range [16,80) disagrees with the wider [0,96) read")
+				}
+			})
+
+			t.Run("reader-at", func(t *testing.T) {
+				want, err := c.StreamRange(ctx, session, 128, 48)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf := make([]byte, 48)
+				n, err := c.ReaderAt(session).ReadAt(buf, 128)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != 48 || !bytes.Equal(buf, want) {
+					t.Fatal("ReaderAt disagrees with StreamRange over the same range")
+				}
+			})
+
+			t.Run("errors", func(t *testing.T) {
+				if _, err := c.Draw(ctx, session+9999, 8); !errors.Is(err, client.ErrNotFound) {
+					t.Fatalf("draw on unknown session: got %v, want ErrNotFound", err)
+				}
+				if _, err := c.Draw(ctx, session, httpapi.MaxDrawBytes+1); !errors.Is(err, client.ErrBadRequest) {
+					t.Fatalf("oversized draw: got %v, want ErrBadRequest", err)
+				}
+				if _, err := c.StreamRange(ctx, session, 0, 0); !errors.Is(err, client.ErrBadRequest) {
+					t.Fatalf("zero-length stream: got %v, want ErrBadRequest", err)
+				}
+				if _, err := c.DrawN(ctx, session, 0, 3); !errors.Is(err, client.ErrBadRequest) {
+					t.Fatalf("zero-size bulk draw: got %v, want ErrBadRequest", err)
+				}
+			})
+
+			t.Run("context-cancel", func(t *testing.T) {
+				cctx, cancel := context.WithCancel(ctx)
+				cancel()
+				if _, err := c.Draw(cctx, session, 8); !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancelled draw: got %v, want context.Canceled", err)
+				}
+			})
+		})
+	}
+}

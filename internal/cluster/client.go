@@ -167,11 +167,11 @@ func (c *WorkerClient) doStream(ctx context.Context, path string, n int64, w io.
 // rpcError maps a worker error response back to the typed error the
 // worker raised.
 func rpcError(status int, eb errorBody) error {
-	msg := eb.Error
+	msg := eb.Error.Message
 	if msg == "" {
 		msg = http.StatusText(status)
 	}
-	switch eb.Code {
+	switch eb.Error.Code {
 	case codeDraining:
 		return fmt.Errorf("%w: %s", ErrDraining, msg)
 	case codeDuplicate:

@@ -79,19 +79,20 @@ type drawResponse struct {
 	Key     string `json:"key"`
 }
 
-// errorBody is the shared wire error envelope: an error string plus a
-// machine-readable code that maps back to the typed errors above.
+// errorBody is the shared wire error envelope
+// ({"error":{"code","message"}}); the code slugs live in httpapi so the
+// daemon, coordinator, worker /ctl and gate surfaces share one set.
 type errorBody = httpapi.ErrorBody
 
 const (
-	codeDraining  = "draining"
-	codeDuplicate = "duplicate"
-	codeSaturated = "saturated"
-	codeExhausted = "exhausted"
-	codeClosed    = "closed"
-	codeOrphaned  = "orphaned"
-	codeNotFound  = "not_found"
-	codeShutdown  = "shutdown"
+	codeDraining  = httpapi.CodeDraining
+	codeDuplicate = httpapi.CodeDuplicate
+	codeSaturated = httpapi.CodeSaturated
+	codeExhausted = httpapi.CodeExhausted
+	codeClosed    = httpapi.CodeClosed
+	codeOrphaned  = httpapi.CodeOrphaned
+	codeNotFound  = httpapi.CodeNotFound
+	codeShutdown  = httpapi.CodeShutdown
 )
 
 // The wire helpers are shared with the single-process service API
@@ -125,7 +126,7 @@ func writeDrawError(w http.ResponseWriter, err error) {
 		// The owner died moments ago; reassignment is in flight.
 		httpError(w, http.StatusServiceUnavailable, codeOrphaned, err)
 	case errors.Is(err, ErrUnreachable):
-		httpError(w, http.StatusBadGateway, "", err)
+		httpError(w, http.StatusBadGateway, httpapi.CodeUnreachable, err)
 	case errors.Is(err, keypool.ErrClosed):
 		httpError(w, http.StatusGone, codeClosed, err)
 	default:

@@ -158,6 +158,12 @@ type Coordinator struct {
 	reassigned atomic.Int64
 	restarts   atomic.Int64
 
+	// epoch counts ownership-map revisions: any transition that changes
+	// which worker (or URL) serves which session bumps it. Gates poll it
+	// cheaply (GET /v1/cluster/owners?epoch=N) and re-pull the map only
+	// when it moved — the watch half of cache invalidation.
+	epoch atomic.Uint64
+
 	obs   *obs.Registry
 	spans *obs.SpanLog
 
@@ -323,6 +329,7 @@ func (c *Coordinator) onWorkerDeath(sl *workerSlot, reason string) {
 		}
 	}
 	c.mu.Unlock()
+	c.epoch.Add(1)
 	client.CloseIdle()
 	c.cfg.Logf("cluster: worker %d died (%s), %d sessions orphaned", sl.slot, reason, orphaned)
 }
@@ -370,6 +377,7 @@ func (c *Coordinator) respawn(sl *workerSlot) bool {
 	sl.client = NewWorkerClient(proc.URL()).WithObs(c.obs)
 	sl.alive = true
 	c.mu.Unlock()
+	c.epoch.Add(1) // the slot's URL changed; cached owners must re-resolve
 	c.cfg.Logf("cluster: worker %d respawned (pid %d)", sl.slot, proc.PID())
 	c.triggerPlacement()
 	return true
@@ -405,6 +413,7 @@ func (c *Coordinator) reconcile(sl *workerSlot, client *WorkerClient) {
 			cs.state = sessionFailed
 			cs.worker = -1
 			c.failed.Add(1)
+			c.epoch.Add(1)
 			c.cfg.Logf("cluster: session %d lost on live worker %d, marked failed", cs.id, sl.slot)
 		}
 	}
@@ -531,6 +540,9 @@ func (c *Coordinator) placeSession(cs *clusterSession, reassign bool, releaseTo 
 				}
 			}
 			c.mu.Unlock()
+			if claimed {
+				c.epoch.Add(1)
+			}
 			if !claimed {
 				// The session was closed while the assign was in flight:
 				// don't strand an untracked copy on the worker.
@@ -608,9 +620,14 @@ func (c *Coordinator) placeOrphans() {
 }
 
 // Create admits a cluster session and places it on the least-loaded
-// worker. The tier runs real sockets: UDP is forced in the spec.
+// worker. The tier runs real sockets, so UDP is forced in the spec —
+// unless the spec asks for a Streamed session, which keeps the worker's
+// in-process bus so the session's keystream stays offset-addressable
+// (and re-reads byte-identical after a reassignment re-derives it).
 func (c *Coordinator) Create(spec service.SessionSpec) (SessionInfo, error) {
-	spec.UDP = true
+	if !spec.Streamed {
+		spec.UDP = true
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -718,6 +735,7 @@ func (c *Coordinator) routeKeyRead(cid uint64, call func(*WorkerClient) ([]byte,
 			cs.state = sessionFailed
 			cs.worker = -1
 			c.failed.Add(1)
+			c.epoch.Add(1)
 		}
 		c.mu.Unlock()
 	}
@@ -740,6 +758,7 @@ func (c *Coordinator) CloseSession(ctx context.Context, cid uint64) error {
 	delete(c.sessions, cs.id)
 	c.mu.Unlock()
 	c.removed.Add(1)
+	c.epoch.Add(1)
 	return nil
 }
 
@@ -1046,3 +1065,69 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 
 // Uptime reports how long the coordinator has been running.
 func (c *Coordinator) Uptime() time.Duration { return time.Since(c.start) }
+
+// OwnerInfo is one session→worker ownership fact: which worker slot
+// hosts the session and the /ctl base URL a gate dials to reach it
+// directly. URL is empty unless the session is assigned to a live
+// worker (orphaned/placing/failed sessions have no reachable owner).
+type OwnerInfo struct {
+	Session uint64 `json:"session"`
+	Worker  int    `json:"worker"`
+	URL     string `json:"url,omitempty"`
+	State   string `json:"state"`
+}
+
+// OwnerMap is the full ownership snapshot plus the epoch it was taken
+// at. A gate caches the entries and re-pulls only when OwnersEpoch
+// moves past the cached value.
+type OwnerMap struct {
+	Epoch  uint64      `json:"epoch"`
+	Owners []OwnerInfo `json:"owners"`
+}
+
+// OwnersEpoch returns the current ownership-map revision. It bumps on
+// every transition that changes which worker (or URL) serves which
+// session: placement, worker death, respawn, close, and failure.
+func (c *Coordinator) OwnersEpoch() uint64 { return c.epoch.Load() }
+
+// ownerInfoLocked builds one session's OwnerInfo. Caller holds c.mu.
+func (c *Coordinator) ownerInfoLocked(cs *clusterSession) OwnerInfo {
+	oi := OwnerInfo{Session: cs.id, Worker: cs.worker, State: cs.state}
+	if cs.state == sessionAssigned {
+		for _, sl := range c.slots {
+			if sl.slot == cs.worker && sl.alive && sl.proc != nil {
+				oi.URL = sl.proc.URL()
+			}
+		}
+	}
+	return oi
+}
+
+// Owner resolves one session's current owner — the gate's cache-miss
+// path. ErrNotFound for unknown ids; known sessions always resolve,
+// with an empty URL while no live worker hosts them.
+func (c *Coordinator) Owner(cid uint64) (OwnerInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.sessions[cid]
+	if !ok {
+		return OwnerInfo{}, fmt.Errorf("%w: %d", ErrNotFound, cid)
+	}
+	return c.ownerInfoLocked(cs), nil
+}
+
+// Owners snapshots the whole ownership map, id-sorted. The epoch is
+// read before the map is built, so a gate that caches this snapshot at
+// its epoch can only ever be stale-and-detectably-so, never
+// fresher-than-the-epoch-claims.
+func (c *Coordinator) Owners() OwnerMap {
+	epoch := c.epoch.Load()
+	c.mu.Lock()
+	out := make([]OwnerInfo, 0, len(c.sessions))
+	for _, cs := range c.sessions {
+		out = append(out, c.ownerInfoLocked(cs))
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return OwnerMap{Epoch: epoch, Owners: out}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/keypool"
 )
 
@@ -221,7 +222,7 @@ func TestRPCErrorMapping(t *testing.T) {
 		{codeExhausted, keypool.ErrExhausted},
 	}
 	for _, tc := range cases {
-		if err := rpcError(400, errorBody{Error: "x", Code: tc.code}); !errors.Is(err, tc.want) {
+		if err := rpcError(400, errorBody{Error: httpapi.ErrorDetail{Code: tc.code, Message: "x"}}); !errors.Is(err, tc.want) {
 			t.Fatalf("code %q mapped to %v, want %v", tc.code, err, tc.want)
 		}
 	}

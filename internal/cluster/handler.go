@@ -21,6 +21,8 @@ import (
 //	GET    /debug/trace              fleet span events (?span= narrows)
 //	GET    /v1/cluster               workers + tier counters (JSON)
 //	GET    /v1/cluster/metrics       fleet-merged registry snapshot
+//	GET    /v1/cluster/owners        session→worker ownership map (+epoch;
+//	                                 ?session= one entry, ?epoch= cheap poll)
 //	GET    /v1/sessions              cluster sessions with live metrics
 //	POST   /v1/sessions              create from a SessionSpec body
 //	GET    /v1/sessions/{id}         one session's info + metrics
@@ -62,6 +64,38 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, fleet)
+	})
+	mux.HandleFunc("GET /v1/cluster/owners", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		// ?session=N resolves one entry — the gate's cache-miss path.
+		if s := q.Get("session"); s != "" {
+			cid, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "", err)
+				return
+			}
+			oi, err := c.Owner(cid)
+			if err != nil {
+				httpError(w, http.StatusNotFound, codeNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, oi)
+			return
+		}
+		// ?epoch=N is the watch poll: 304 while the map hasn't moved, so
+		// a gate's poll loop costs the coordinator one atomic load.
+		if e := q.Get("epoch"); e != "" {
+			have, err := strconv.ParseUint(e, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "", err)
+				return
+			}
+			if c.OwnersEpoch() == have {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, c.Owners())
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Sessions(r.Context()))

@@ -1,0 +1,122 @@
+package gate
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestGateSoak25kConnections is the population soak: 25k concurrent
+// mock clients over net.Pipe, every connection serving at least one
+// draw, then a full teardown that must return the process to its
+// starting goroutine count — the gate may not leak an agent, a
+// per-request goroutine, or a sweeper per connection.
+//
+// Slow and allocation-heavy, so it only runs when asked:
+//
+//	THINAIR_SOAK=1 go test ./internal/gate/ -run TestGateSoak -v
+func TestGateSoak25kConnections(t *testing.T) {
+	if os.Getenv("THINAIR_SOAK") == "" {
+		t.Skip("set THINAIR_SOAK=1 to run the gate soak test")
+	}
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+
+	before := runtime.NumGoroutine()
+
+	g := New(Config{
+		Backend:        &stubBackend{},
+		HeartbeatEvery: time.Minute, // sweeper on, but nobody gets kicked
+		Obs:            obs.New(),
+		Logf:           func(string, ...any) {},
+	})
+
+	const conns = 25000
+	clients := make([]*Client, conns)
+	var wg sync.WaitGroup
+	const spawners = 64
+	var spawnErr error
+	var spawnMu sync.Mutex
+	wg.Add(spawners)
+	for s := 0; s < spawners; s++ {
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < conns; i += spawners {
+				server, cl := net.Pipe()
+				go g.ServeConn(server)
+				c, err := NewClient(cl)
+				if err != nil {
+					spawnMu.Lock()
+					spawnErr = fmt.Errorf("conn %d: %w", i, err)
+					spawnMu.Unlock()
+					return
+				}
+				clients[i] = c
+			}
+		}(s)
+	}
+	wg.Wait()
+	if spawnErr != nil {
+		t.Fatal(spawnErr)
+	}
+	t.Logf("%d connections up (%d goroutines)", conns, runtime.NumGoroutine())
+
+	// Every connection serves one draw: the agent's request path (sem,
+	// per-request goroutine, response frame) runs 25k times concurrently.
+	ctx := context.Background()
+	const drawers = 128
+	errc := make(chan error, drawers)
+	for w := 0; w < drawers; w++ {
+		go func(w int) {
+			for i := w; i < conns; i += drawers {
+				key, err := clients[i].Draw(ctx, uint64(i), 16)
+				if err != nil {
+					errc <- fmt.Errorf("conn %d draw: %w", i, err)
+					return
+				}
+				if len(key) != 16 {
+					errc <- fmt.Errorf("conn %d: %d bytes, want 16", i, len(key))
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < drawers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := g.connections.Value(); v != conns {
+		t.Fatalf("connections gauge %v, want %d", v, conns)
+	}
+
+	for _, c := range clients {
+		c.Close()
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything must drain: agents, per-request goroutines, the sweeper,
+	// and the test's own ServeConn wrappers.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<22)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked after soak teardown: %d before, %d after\n%.20000s",
+		before, runtime.NumGoroutine(), buf[:n])
+}

@@ -12,12 +12,56 @@ import (
 	"strconv"
 )
 
-// ErrorBody is the JSON error envelope. Code is a machine-readable
-// slug (the cluster tier uses it to map HTTP statuses back to typed
-// errors); plain service errors leave it empty.
+// Error codes: the machine-readable slugs carried in the /v1 error
+// envelope and in the gate frame protocol's error responses. Every tier
+// (daemon, coordinator, worker /ctl, gate) maps its typed errors onto
+// this one set, so a client can switch on the code without knowing which
+// tier answered. The mapping onto typed errors is asserted 1:1 in
+// internal/client's table-driven test.
+const (
+	// CodeBadRequest rejects malformed parameters or bodies.
+	CodeBadRequest = "bad_request"
+	// CodeDraining rejects assignments to a worker mid-drain.
+	CodeDraining = "draining"
+	// CodeDuplicate rejects re-assigning a session id a worker already hosts.
+	CodeDuplicate = "duplicate"
+	// CodeSaturated signals the session/queue bound was hit — retry later.
+	CodeSaturated = "saturated"
+	// CodeExhausted signals the key pool is behind demand — retry after
+	// the refresher catches up.
+	CodeExhausted = "exhausted"
+	// CodeClosed signals a zeroized (closed or failed) pool — permanent.
+	CodeClosed = "closed"
+	// CodeOrphaned signals the session lost its worker and reassignment
+	// is in flight — retryable.
+	CodeOrphaned = "orphaned"
+	// CodeNotFound signals an unknown session id.
+	CodeNotFound = "not_found"
+	// CodeShutdown signals the tier is shutting down.
+	CodeShutdown = "shutdown"
+	// CodeUnreachable signals a transport-level failure reaching the
+	// owning worker.
+	CodeUnreachable = "unreachable"
+	// CodeInternal is the fallback for unclassified server-side failures.
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the inner object of the /v1 error envelope.
+type ErrorDetail struct {
+	// Code is one of the Code* slugs above.
+	Code string `json:"code"`
+	// Message is the human-readable error string.
+	Message string `json:"message"`
+}
+
+// ErrorBody is the JSON error envelope shared by every HTTP surface:
+//
+//	{"error":{"code":"exhausted","message":"keypool: ..."}}
+//
+// Code is always present; clients dispatch on it rather than parsing
+// Message or guessing from the HTTP status.
 type ErrorBody struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error ErrorDetail `json:"error"`
 }
 
 // WriteJSON writes v as a JSON response with the given status.
@@ -27,9 +71,21 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// Error writes the error envelope. code may be empty.
+// Error writes the error envelope. An empty code is filled from the
+// status (4xx → bad_request / not_found, 5xx → internal) so the wire
+// never carries an empty code.
 func Error(w http.ResponseWriter, status int, code string, err error) {
-	WriteJSON(w, status, ErrorBody{Error: err.Error(), Code: code})
+	if code == "" {
+		switch {
+		case status == http.StatusNotFound:
+			code = CodeNotFound
+		case status >= 500:
+			code = CodeInternal
+		default:
+			code = CodeBadRequest
+		}
+	}
+	WriteJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }
 
 // MaxDrawBytes caps one key draw (1 MiB).
@@ -42,7 +98,7 @@ func DrawBytes(w http.ResponseWriter, r *http.Request) (int, bool) {
 	if q := r.URL.Query().Get("bytes"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v <= 0 || v > MaxDrawBytes {
-			Error(w, http.StatusBadRequest, "", errors.New("bytes must be in 1..1048576"))
+			Error(w, http.StatusBadRequest, CodeBadRequest, errors.New("bytes must be in 1..1048576"))
 			return 0, false
 		}
 		n = v
@@ -119,7 +175,7 @@ func StreamRange(w http.ResponseWriter, r *http.Request) (off, n int64, ok bool)
 	if q := r.URL.Query().Get("offset"); q != "" {
 		v, err := strconv.ParseInt(q, 10, 64)
 		if err != nil || v < 0 {
-			Error(w, http.StatusBadRequest, "", errors.New("offset must be a non-negative integer"))
+			Error(w, http.StatusBadRequest, CodeBadRequest, errors.New("offset must be a non-negative integer"))
 			return 0, 0, false
 		}
 		off = v
@@ -127,7 +183,7 @@ func StreamRange(w http.ResponseWriter, r *http.Request) (off, n int64, ok bool)
 	if q := r.URL.Query().Get("len"); q != "" {
 		v, err := strconv.ParseInt(q, 10, 64)
 		if err != nil || v <= 0 || v > MaxStreamBytes {
-			Error(w, http.StatusBadRequest, "", errors.New("len must be in 1..67108864"))
+			Error(w, http.StatusBadRequest, CodeBadRequest, errors.New("len must be in 1..67108864"))
 			return 0, 0, false
 		}
 		n = v

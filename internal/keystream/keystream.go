@@ -193,6 +193,9 @@ type Stats struct {
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
+	// StridePrefetches counts blocks the prefetcher claimed because the
+	// stride detector saw a repeating non-sequential ReadAt pattern.
+	StridePrefetches int64 `json:"stride_prefetches"`
 	// HealthSkips counts report waits skipped because the member was
 	// marked unresponsive; HealthProbes counts the periodic liveness
 	// re-probes of such members (see memberHealth).
@@ -256,6 +259,18 @@ type Stream struct {
 	pos    int64 // sequential read cursor (bytes)
 	hint   int64 // first block after the most recent acquisition (blocks)
 	closed bool
+
+	// Stride detector state (guarded by mu): strideLast is the first
+	// block of the most recent ReadAt, strideDelta the last inter-call
+	// jump, strideHits how many times in a row that jump repeated. Two
+	// repeats of a jump that is neither a re-read (0) nor sequential (1)
+	// switch prefetch from the contiguous hint window to the strided
+	// lattice strideLast + k·strideDelta — the access pattern of an OTP
+	// consumer padding every Nth record, which the contiguous window
+	// never anticipates.
+	strideLast  int64
+	strideDelta int64
+	strideHits  int
 
 	readMu sync.Mutex // serializes sequential Reads (cursor integrity)
 
@@ -376,25 +391,87 @@ func (s *Stream) pickNext() *blockState {
 	if best != nil {
 		return best
 	}
-	// Prefetch within the window, respecting the cache budget. The hint
-	// cursor (where the most recent reader actually is — random-access
-	// readers included) is the better bet; the sequential cursor's window
-	// keeps a drained-by-Read consumer pipelined when no one else reads.
-	for _, base := range [2]int64{s.hint, s.pos / int64(s.cfg.BlockSize)} {
-		for idx := base; idx < base+int64(s.cfg.Window); idx++ {
+	// With an established stride, prefetch along the strided lattice
+	// instead of the contiguous hint window — the window would fill the
+	// cache with blocks a strided reader is about to jump over.
+	if s.strideActive() {
+		for k := int64(1); k <= int64(s.cfg.Window); k++ {
+			idx := s.strideLast + k*s.strideDelta
+			if idx < 0 {
+				break // backward stride ran off the stream's start
+			}
+			if _, ok := s.blocks[idx]; ok {
+				continue
+			}
+			if !s.makeRoom() {
+				return nil
+			}
+			s.stats.StridePrefetches++
+			return s.claim(idx)
+		}
+	} else {
+		// Prefetch within the window, respecting the cache budget. The hint
+		// cursor (where the most recent reader actually is — random-access
+		// readers included) is the better bet; the sequential cursor's
+		// window keeps a drained-by-Read consumer pipelined when no one
+		// else reads.
+		for idx := s.hint; idx < s.hint+int64(s.cfg.Window); idx++ {
 			if _, ok := s.blocks[idx]; ok {
 				continue
 			}
 			if !s.makeRoom() {
 				return nil // cache full of live blocks: backpressure
 			}
-			bs := &blockState{idx: idx}
-			s.blocks[idx] = bs
-			s.ins.resident.Set(float64(len(s.blocks)))
-			return bs
+			return s.claim(idx)
 		}
 	}
+	// The sequential cursor's window applies either way: the session pool
+	// drains the stream through Read and must stay pipelined even while a
+	// random-access reader drives the stride or hint state elsewhere.
+	base := s.pos / int64(s.cfg.BlockSize)
+	for idx := base; idx < base+int64(s.cfg.Window); idx++ {
+		if _, ok := s.blocks[idx]; ok {
+			continue
+		}
+		if !s.makeRoom() {
+			return nil
+		}
+		return s.claim(idx)
+	}
 	return nil
+}
+
+// claim registers an empty block state for idx. Caller holds mu and has
+// already made room.
+func (s *Stream) claim(idx int64) *blockState {
+	bs := &blockState{idx: idx}
+	s.blocks[idx] = bs
+	s.ins.resident.Set(float64(len(s.blocks)))
+	return bs
+}
+
+// strideMinHits is how many consecutive repeats of the same jump
+// establish a stride. Caller of strideActive holds mu.
+const strideMinHits = 2
+
+func (s *Stream) strideActive() bool {
+	return s.strideHits >= strideMinHits && s.strideDelta != 0 && s.strideDelta != 1
+}
+
+// noteStride feeds the detector the first block index of one ReadAt
+// call. Re-reads (delta 0) and sequential continuation (delta 1) are
+// already served by the hint window; any other jump that repeats
+// strideMinHits times in a row flips prefetch to the strided lattice.
+// Caller holds mu.
+func (s *Stream) noteStride(idx int64) {
+	delta := idx - s.strideLast
+	s.strideLast = idx
+	if delta == s.strideDelta && delta != 0 && delta != 1 {
+		s.strideHits++
+	} else {
+		s.strideDelta = delta
+		s.strideHits = 0
+	}
 }
 
 // makeRoom evicts the least-recently-used idle derived block if the cache
@@ -509,6 +586,12 @@ func (s *Stream) ReadAt(p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("keystream: negative offset %d", off)
 	}
 	bsz := int64(s.cfg.BlockSize)
+	s.mu.Lock()
+	s.noteStride(off / bsz)
+	if s.strideActive() {
+		s.cond.Broadcast() // wake idle workers onto the strided lattice
+	}
+	s.mu.Unlock()
 	n := 0
 	for n < len(p) {
 		idx := (off + int64(n)) / bsz

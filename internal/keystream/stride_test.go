@@ -1,0 +1,144 @@
+package keystream
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func gf8Cfg(seed int64) Config {
+	return Config{
+		Terminals: 2, XPerRound: 4, PayloadBytes: 4,
+		Seed:      seed,
+		BlockSize: 4096,
+		Source:    XOFSource8(seed),
+	}
+}
+
+// TestStrideDifferential: a strided ReadAt workload — the access pattern
+// of an OTP consumer padding every Nth record — returns bytes identical
+// to a plain stream reading the same ranges, while the detector engages
+// and prefetches along the lattice instead of the contiguous window.
+func TestStrideDifferential(t *testing.T) {
+	const strideBlocks = 5 // prime vs the window so contiguous prefetch never helps
+	const reads = 24
+	const readLen = 96
+
+	strided, err := New(gf8Cfg(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strided.Close()
+	plain, err := New(gf8Cfg(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	bsz := int64(strided.BlockSize())
+	for i := 0; i < reads; i++ {
+		off := int64(i) * strideBlocks * bsz
+		a := make([]byte, readLen)
+		if _, err := strided.ReadAt(a, off); err != nil {
+			t.Fatalf("strided ReadAt(%d): %v", off, err)
+		}
+		b := make([]byte, readLen)
+		if _, err := plain.ReadAt(b, off); err != nil {
+			t.Fatalf("plain ReadAt(%d): %v", off, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("strided read at offset %d diverged from the plain stream", off)
+		}
+	}
+
+	st := strided.Stats()
+	if st.StridePrefetches == 0 {
+		t.Fatalf("stride detector never engaged over %d strided reads: %+v", reads, st)
+	}
+	strided.mu.Lock()
+	active := strided.strideActive()
+	delta := strided.strideDelta
+	strided.mu.Unlock()
+	if !active || delta != strideBlocks {
+		t.Fatalf("detector state after strided reads: active=%v delta=%d, want active delta=%d",
+			active, delta, strideBlocks)
+	}
+}
+
+// TestStridePrefetchLandsAhead: once the stride is established, the
+// workers derive upcoming lattice blocks before any reader demands them.
+func TestStridePrefetchLandsAhead(t *testing.T) {
+	s, err := New(gf8Cfg(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const strideBlocks = 7
+	bsz := int64(s.BlockSize())
+	buf := make([]byte, 32)
+	// Four reads at the same jump: the delta repeats twice after being
+	// set, and the stride locks in.
+	var last int64
+	for i := int64(0); i < 4; i++ {
+		last = i * strideBlocks * bsz
+		if _, err := s.ReadAt(buf, last); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	next := last/bsz + strideBlocks
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		bs, ok := s.blocks[next]
+		derived := ok && bs.data != nil
+		s.mu.Unlock()
+		if derived {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("block %d never prefetched along the established stride", next)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestStrideResetsOnSequential: re-reads and sequential continuation
+// break an established stride — the contiguous hint window is the right
+// policy again and the lattice must not linger.
+func TestStrideResetsOnSequential(t *testing.T) {
+	s, err := New(gf8Cfg(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	bsz := int64(s.BlockSize())
+	buf := make([]byte, 16)
+	for i := int64(0); i < 4; i++ {
+		if _, err := s.ReadAt(buf, i*3*bsz); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	active := s.strideActive()
+	s.mu.Unlock()
+	if !active {
+		t.Fatal("stride of 3 blocks not established after 4 reads")
+	}
+
+	// Two sequential block reads: delta 1 twice → detector resets.
+	if _, err := s.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadAt(buf, bsz); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	active = s.strideActive()
+	s.mu.Unlock()
+	if active {
+		t.Fatal("stride survived sequential reads")
+	}
+}

@@ -60,19 +60,19 @@ func (sv *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var spec SessionSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err)
 			return
 		}
 		s, err := sv.Create(spec)
 		if err != nil {
-			status := http.StatusBadRequest
+			status, code := http.StatusBadRequest, httpapi.CodeBadRequest
 			switch {
 			case errors.Is(err, ErrSaturated):
-				status = http.StatusTooManyRequests
+				status, code = http.StatusTooManyRequests, httpapi.CodeSaturated
 			case errors.Is(err, ErrShutdown):
-				status = http.StatusServiceUnavailable
+				status, code = http.StatusServiceUnavailable, httpapi.CodeShutdown
 			}
-			httpError(w, status, err)
+			httpError(w, status, code, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, s.Metrics())
@@ -90,7 +90,7 @@ func (sv *Service) Handler() http.Handler {
 			return
 		}
 		if err := sv.Close(s.ID); err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpError(w, http.StatusNotFound, httpapi.CodeNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"closed": s.ID})
@@ -129,11 +129,11 @@ func (sv *Service) Handler() http.Handler {
 			// behind; the client retries after the pool recovers. A
 			// zeroized pool (failed or closed session) is permanent —
 			// Gone tells the client to stop retrying.
-			status := http.StatusConflict
+			status, code := http.StatusConflict, httpapi.CodeExhausted
 			if errors.Is(err, keypool.ErrClosed) {
-				status = http.StatusGone
+				status, code = http.StatusGone, httpapi.CodeClosed
 			}
-			httpError(w, status, err)
+			httpError(w, status, code, err)
 			if obsOn {
 				sv.drawErr.ObserveSince(t0)
 				if span != "" {
@@ -217,17 +217,17 @@ func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Sessio
 	if errors.Is(err, ErrNoStream) {
 		// Fallback path: consuming bulk draw, one pool operation.
 		if off != 0 {
-			httpError(w, http.StatusBadRequest,
+			httpError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
 				errors.New("service: offsets are only addressable on stream-fed sessions"))
 			return false
 		}
 		key, derr := s.DrawBulk(int(n))
 		if derr != nil {
-			status := http.StatusConflict
+			status, code := http.StatusConflict, httpapi.CodeExhausted
 			if errors.Is(derr, keypool.ErrClosed) {
-				status = http.StatusGone
+				status, code = http.StatusGone, httpapi.CodeClosed
 			}
-			httpError(w, status, derr)
+			httpError(w, status, code, derr)
 			return false
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -236,7 +236,7 @@ func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Sessio
 		return true
 	}
 	if err != nil {
-		httpError(w, http.StatusGone, err)
+		httpError(w, http.StatusGone, httpapi.CodeClosed, err)
 		return false
 	}
 	return httpapi.StreamBody(w, r, src, n)
@@ -245,21 +245,22 @@ func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Sessio
 func (sv *Service) sessionFromPath(w http.ResponseWriter, r *http.Request) (*Session, bool) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err)
 		return nil, false
 	}
 	s, err := sv.Get(uint32(id))
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		httpError(w, http.StatusNotFound, httpapi.CodeNotFound, err)
 		return nil, false
 	}
 	return s, true
 }
 
 // writeJSON and httpError are the wire helpers shared with the cluster
-// tier (internal/httpapi), so both surfaces speak the same envelope.
+// tier (internal/httpapi), so both surfaces speak the same envelope —
+// every daemon error now carries a typed code slug next to its message.
 func writeJSON(w http.ResponseWriter, status int, v any) { httpapi.WriteJSON(w, status, v) }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	httpapi.Error(w, status, "", err)
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	httpapi.Error(w, status, code, err)
 }

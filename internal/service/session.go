@@ -51,6 +51,15 @@ type SessionSpec struct {
 	// Observe attaches a wire-level eavesdropper to the session's bus and
 	// exposes its certificate in the metrics.
 	Observe bool
+	// Streamed requests a stream-fed session on the cluster tier. The
+	// coordinator normally forces UDP on every cluster session, which
+	// makes the pool a consuming one-shot surface; Streamed keeps the
+	// in-process bus so the worker hosts a deterministic, offset-
+	// addressable keystream — ranges re-read byte-identical after a
+	// reassignment, which the gate's stream surface depends on.
+	// Incompatible with UDP, Observe and AuthBootstrap (those paths keep
+	// the lockstep engine refresh and have no address space).
+	Streamed bool
 	// Timeout bounds each protocol wait inside a node (default 10s).
 	Timeout time.Duration
 	// StreamBlock is the keystream block size (bytes) for stream-fed
@@ -101,6 +110,9 @@ func (sp *SessionSpec) fill() error {
 	}
 	if sp.Erasure < 0 || sp.Erasure >= 1 {
 		return fmt.Errorf("service: erasure %v outside [0, 1)", sp.Erasure)
+	}
+	if sp.Streamed && (sp.UDP || sp.Observe || len(sp.AuthBootstrap) > 0) {
+		return errors.New("service: streamed sessions cannot combine UDP, observers, or auth")
 	}
 	if sp.TargetDepth < sp.LowWater {
 		return fmt.Errorf("service: target depth %d below low-water %d", sp.TargetDepth, sp.LowWater)

@@ -36,8 +36,10 @@ import (
 	"fmt"
 
 	"repro/internal/auth"
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/gate"
 	"repro/internal/keypool"
 	"repro/internal/radio"
 	"repro/internal/service"
@@ -333,3 +335,53 @@ type (
 // are hosted in-process (cluster.InProcess); pass a cluster.ExecSpawner
 // to run them as separate OS processes.
 func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
+
+// Client is the unified key-access API: Draw, DrawN, StreamRange and
+// ReaderAt against a session id, identical across the three transports —
+// daemon HTTP, coordinator HTTP and the gate frame protocol. All
+// implementations decode the shared /v1 error envelope to the same typed
+// errors, so errors.Is works the same way regardless of tier.
+type Client = client.Client
+
+// Typed errors every Client implementation can return; each corresponds
+// 1:1 to an error code slug of the /v1 envelope (see the README's error
+// code table).
+var (
+	ErrNotFound    = client.ErrNotFound
+	ErrOrphaned    = client.ErrOrphaned
+	ErrDraining    = client.ErrDraining
+	ErrDuplicate   = client.ErrDuplicate
+	ErrUnreachable = client.ErrUnreachable
+	ErrShutdown    = client.ErrShutdown
+	ErrSaturated   = client.ErrSaturated
+	ErrExhausted   = client.ErrExhausted
+	ErrClosed      = client.ErrClosed
+	ErrBadRequest  = client.ErrBadRequest
+	ErrInternal    = client.ErrInternal
+)
+
+// NewHTTPClient returns a Client talking /v1 over HTTP to a daemon or a
+// coordinator at base (e.g. "http://127.0.0.1:9309") — both serve the
+// same surface.
+func NewHTTPClient(base string) Client { return client.NewHTTP(base) }
+
+// DialGate connects a persistent frame-protocol Client to a gate's TCP
+// listener (see the `thinaird gate` subcommand).
+func DialGate(addr string) (Client, error) { return gate.Dial(addr) }
+
+// DialGateWS is DialGate over a WebSocket upgrade (ws://host/path).
+func DialGateWS(url string) (Client, error) { return gate.DialWS(url) }
+
+// Gate-tier re-exports: the persistent-connection front tier that serves
+// the Client API over multiplexed frames and streams ranges directly
+// from owning workers (see internal/gate and `thinaird gate`).
+type (
+	// Gate accepts persistent frame-protocol connections.
+	Gate = gate.Gate
+	// GateConfig parameterizes a Gate.
+	GateConfig = gate.Config
+)
+
+// NewGate builds a Gate serving the given backend; wire one with
+// gate.ServiceBackend (single daemon) or gate.ClusterBackend (cluster).
+func NewGate(cfg GateConfig) *Gate { return gate.New(cfg) }
