@@ -30,6 +30,8 @@ func runCoordinator(args []string) {
 		backoff  = fs.Duration("respawn-backoff", 200*time.Millisecond, "pause before replacing a dead worker")
 		drain    = fs.Duration("drain", 15*time.Second, "graceful drain window per worker")
 		bin      = fs.String("worker-bin", "", "worker executable (default: this binary)")
+		stateDir = fs.String("state-dir", "", "persist the session registry here; a restarted coordinator replays it and re-adopts surviving workers")
+		orphan   = fs.Duration("orphan-grace", 45*time.Second, "how long workers outlive a dead coordinator awaiting re-adoption (needs -state-dir)")
 		dbg      = fs.String("debug-addr", "", "serve pprof + /debug/trace + /metrics on this extra address")
 	)
 	_ = fs.Parse(args)
@@ -37,6 +39,13 @@ func runCoordinator(args []string) {
 		defer enableDebug(*dbg, obs.Default(), obs.DefaultSpans())()
 	}
 
+	spawner := &cluster.ExecSpawner{Binary: *bin}
+	if *stateDir != "" {
+		// Workers must survive a coordinator crash long enough to be
+		// re-adopted; without persistence the old exit-on-reparent
+		// behavior stands (a worker nobody can re-adopt must not linger).
+		spawner.Args = []string{"-orphan-grace", orphan.String()}
+	}
 	c, err := cluster.New(cluster.Config{
 		Workers:         *workers,
 		WorkerCapacity:  *capacity,
@@ -45,7 +54,8 @@ func runCoordinator(args []string) {
 		MaxRestarts:     *restarts,
 		RespawnBackoff:  *backoff,
 		DrainTimeout:    *drain,
-		Spawn:           (&cluster.ExecSpawner{Binary: *bin}).Spawn,
+		Spawn:           spawner.Spawn,
+		StateDir:        *stateDir,
 	})
 	fatal(err)
 
@@ -94,6 +104,7 @@ func runWorker(args []string) {
 		drain      = fs.Duration("drain", 10*time.Second, "graceful drain window per session")
 		slot       = fs.Int("slot", 0, "coordinator slot index (labels logs)")
 		supervised = fs.Bool("supervised", false, "exit when the parent process goes away")
+		orphan     = fs.Duration("orphan-grace", 0, "after losing the coordinator, keep serving this long awaiting re-adoption (0: exit immediately)")
 		dbg        = fs.String("debug-addr", "", "serve pprof + /debug/trace + /metrics on this extra address")
 	)
 	_ = fs.Parse(args)
@@ -112,19 +123,35 @@ func runWorker(args []string) {
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("%s url=http://%s\n", cluster.ReadyPrefix, listenHostPort(ln))
 
-	// A supervised worker must not outlive its coordinator: being
-	// reparented (the parent pid changes) means the coordinator is gone,
-	// so drain and exit rather than linger as an orphan.
+	// A supervised worker must not outlive its coordinator for long:
+	// being reparented (the parent pid changes) means the coordinator is
+	// gone. With -orphan-grace the worker keeps serving for a bounded
+	// window — a coordinator restarted on its state dir re-adopts the
+	// worker by probing /ctl, and every control RPC (heartbeats
+	// included) resets the silence clock. Only sustained control silence
+	// past the grace drains and exits; grace 0 is the immediate exit.
 	orphaned := make(chan struct{})
 	if *supervised {
 		parent := os.Getppid()
 		go func() {
-			for {
+			for os.Getppid() == parent {
 				time.Sleep(time.Second)
-				if os.Getppid() != parent {
+			}
+			reparented := time.Now()
+			if *orphan > 0 {
+				fmt.Fprintf(os.Stderr, "thinaird worker %d: coordinator gone — serving %v awaiting re-adoption\n", *slot, *orphan)
+			}
+			for {
+				last := w.LastControlActivity()
+				if last.Before(reparented) {
+					last = reparented
+				}
+				silence := time.Since(last)
+				if silence >= *orphan {
 					close(orphaned)
 					return
 				}
+				time.Sleep(min(time.Second, *orphan-silence))
 			}
 		}()
 	}

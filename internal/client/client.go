@@ -60,6 +60,10 @@ var (
 	ErrSaturated   = service.ErrSaturated
 	ErrExhausted   = keypool.ErrExhausted
 	ErrClosed      = keypool.ErrClosed
+	// ErrFailed marks a session that died permanently on its own —
+	// distinct from ErrClosed (graceful, caller-initiated) so consumers
+	// can tell session death from their own Close.
+	ErrFailed = service.ErrFailed
 
 	// ErrBadRequest and ErrInternal cover the two envelope codes with no
 	// pre-existing typed error: parameter rejections and unclassified
@@ -93,6 +97,8 @@ func ErrorFromCode(code, msg string) error {
 		return wrap(ErrExhausted, msg)
 	case httpapi.CodeClosed:
 		return wrap(ErrClosed, msg)
+	case httpapi.CodeFailed:
+		return wrap(ErrFailed, msg)
 	case httpapi.CodeOrphaned:
 		return wrap(ErrOrphaned, msg)
 	case httpapi.CodeNotFound:
@@ -123,6 +129,12 @@ func wrap(sentinel error, msg string) error {
 // table-driven mapping test asserts the round trip is the identity.
 func CodeFromError(err error) string {
 	switch {
+	// Failed outranks every other match: server-side failed errors may
+	// also wrap ErrClosed (the dead session's pool really is zeroized)
+	// or ErrNotFound (the daemon registry really dropped it), and the
+	// permanent-death fact is the one the client needs.
+	case errors.Is(err, ErrFailed):
+		return httpapi.CodeFailed
 	case errors.Is(err, ErrDraining):
 		return httpapi.CodeDraining
 	case errors.Is(err, ErrDuplicate):

@@ -147,6 +147,119 @@ func waitDrawable(t *testing.T, c client.Client, session uint64) {
 	t.Fatalf("session %d never became drawable", session)
 }
 
+// deadSpec is a session on a channel so lossy every refresh round
+// aborts: the session exhausts its failure budget and dies permanently
+// within a few fast in-memory (or loopback-UDP) rounds.
+func deadSpec(seed int64) service.SessionSpec {
+	return service.SessionSpec{
+		Terminals:    3,
+		Erasure:      0.999,
+		XPerRound:    4,
+		PayloadBytes: 16,
+		Rotate:       true,
+		Seed:         seed,
+		LowWater:     64,
+		TargetDepth:  128,
+		Timeout:      10 * time.Second,
+	}
+}
+
+// failedTier builds one Client over a live stack plus a session that is
+// guaranteed to die permanently.
+type failedTier struct {
+	name  string
+	setup func(t *testing.T) (client.Client, uint64)
+}
+
+func failedTiers() []failedTier {
+	return []failedTier{
+		{name: "daemon-http", setup: func(t *testing.T) (client.Client, uint64) {
+			sv := service.New(service.Config{MaxSessions: 2, DrainTimeout: 5 * time.Second})
+			t.Cleanup(func() { sv.Shutdown(context.Background()) })
+			s, err := sv.Create(deadSpec(8001))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(sv.Handler())
+			t.Cleanup(ts.Close)
+			c := client.NewHTTP(ts.URL)
+			t.Cleanup(func() { c.Close() })
+			return c, uint64(s.ID)
+		}},
+		{name: "coordinator-http", setup: func(t *testing.T) (client.Client, uint64) {
+			co := newTestCoordinator(t)
+			info, err := co.Create(deadSpec(8002))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(co.Handler())
+			t.Cleanup(ts.Close)
+			c := client.NewHTTP(ts.URL)
+			t.Cleanup(func() { c.Close() })
+			return c, info.ID
+		}},
+		{name: "gate-frame", setup: func(t *testing.T) (client.Client, uint64) {
+			sv := service.New(service.Config{MaxSessions: 2, DrainTimeout: 5 * time.Second})
+			t.Cleanup(func() { sv.Shutdown(context.Background()) })
+			s, err := sv.Create(deadSpec(8003))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := gate.New(gate.Config{
+				Backend: &gate.ServiceBackend{SV: sv},
+				Logf:    func(string, ...any) {},
+			})
+			t.Cleanup(func() { g.Close() })
+			server, clientConn := net.Pipe()
+			go g.ServeConn(server)
+			c, err := gate.NewClient(clientConn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			return c, uint64(s.ID)
+		}},
+	}
+}
+
+// TestFailedCodeConformance: a session that dies permanently surfaces as
+// ErrFailed — not ErrClosed, not a bare ErrNotFound — identically across
+// all three transports. This is the conformance half of the
+// failed-vs-closed split; the envelope and wire halves are pinned by the
+// mapping and codec bijection tests.
+func TestFailedCodeConformance(t *testing.T) {
+	for _, tr := range failedTiers() {
+		t.Run(tr.name, func(t *testing.T) {
+			t.Parallel()
+			c, session := tr.setup(t)
+			ctx := context.Background()
+			deadline := time.Now().Add(90 * time.Second)
+			var last error
+			for time.Now().Before(deadline) {
+				_, last = c.Draw(ctx, session, 8)
+				if errors.Is(last, client.ErrFailed) {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if !errors.Is(last, client.ErrFailed) {
+				t.Fatalf("draw on dead session never surfaced ErrFailed; last error: %v", last)
+			}
+			if errors.Is(last, client.ErrClosed) {
+				t.Fatalf("failed session classified as graceful close: %v", last)
+			}
+			// The error is stable: a second read reports the same death.
+			if _, err := c.Draw(ctx, session, 8); !errors.Is(err, client.ErrFailed) {
+				t.Fatalf("second draw on dead session: %v, want ErrFailed", err)
+			}
+			// And distinct from a genuinely unknown id on the same tier.
+			if _, err := c.Draw(ctx, session+9999, 8); errors.Is(err, client.ErrFailed) {
+				t.Fatalf("unknown session classified as failed: %v", err)
+			}
+		})
+	}
+}
+
 // TestClientConformance runs the same behavioural assertions against all
 // three Client implementations.
 func TestClientConformance(t *testing.T) {

@@ -7,13 +7,14 @@ import (
 	"testing"
 
 	"repro/internal/httpapi"
+	"repro/internal/keypool"
 	"repro/internal/keystream"
 	"repro/internal/service"
 )
 
 // TestCodeErrorRoundTrip pins the envelope slug ↔ typed error mapping:
 // every slug decodes to a typed error that encodes back to the same
-// slug, for all eleven codes of the /v1 envelope.
+// slug, for all twelve codes of the /v1 envelope.
 func TestCodeErrorRoundTrip(t *testing.T) {
 	cases := []struct {
 		code string
@@ -25,6 +26,7 @@ func TestCodeErrorRoundTrip(t *testing.T) {
 		{httpapi.CodeSaturated, ErrSaturated},
 		{httpapi.CodeExhausted, ErrExhausted},
 		{httpapi.CodeClosed, ErrClosed},
+		{httpapi.CodeFailed, ErrFailed},
 		{httpapi.CodeOrphaned, ErrOrphaned},
 		{httpapi.CodeNotFound, ErrNotFound},
 		{httpapi.CodeShutdown, ErrShutdown},
@@ -66,6 +68,12 @@ func TestCodeFromErrorTierSentinels(t *testing.T) {
 		{service.ErrShutdown, httpapi.CodeShutdown},
 		{keystream.ErrClosed, httpapi.CodeClosed},
 		{errors.New("anything unclassified"), httpapi.CodeInternal},
+		// A dead session's error wraps both the not-found fact (the
+		// registry dropped it) and the failure fact; failed must win the
+		// classification or clients lose the death signal.
+		{errors.Join(service.ErrNotFound, service.ErrFailed), httpapi.CodeFailed},
+		// Likewise failed + the zeroized pool's closed sentinel.
+		{fmt.Errorf("%w: %w", service.ErrFailed, keypool.ErrClosed), httpapi.CodeFailed},
 	}
 	for _, tc := range cases {
 		if got := CodeFromError(tc.err); got != tc.want {
@@ -105,7 +113,8 @@ func TestErrorFromCodeUnknownSlug(t *testing.T) {
 	err := ErrorFromCode("flux_capacitor", "overcharged")
 	for _, known := range []error{
 		ErrBadRequest, ErrDraining, ErrDuplicate, ErrSaturated, ErrExhausted,
-		ErrClosed, ErrOrphaned, ErrNotFound, ErrShutdown, ErrUnreachable, ErrInternal,
+		ErrClosed, ErrFailed, ErrOrphaned, ErrNotFound, ErrShutdown,
+		ErrUnreachable, ErrInternal,
 	} {
 		if errors.Is(err, known) {
 			t.Fatalf("unknown slug classified as %v", known)

@@ -182,6 +182,8 @@ func rpcError(status int, eb errorBody) error {
 		return fmt.Errorf("%w: %s", keypool.ErrExhausted, msg)
 	case codeClosed:
 		return fmt.Errorf("%w: %s", keypool.ErrClosed, msg)
+	case codeFailed:
+		return fmt.Errorf("%w: %s", service.ErrFailed, msg)
 	case codeNotFound:
 		return fmt.Errorf("%w: %s", ErrNotFound, msg)
 	case codeOrphaned:

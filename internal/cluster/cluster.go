@@ -90,6 +90,7 @@ const (
 	codeSaturated = httpapi.CodeSaturated
 	codeExhausted = httpapi.CodeExhausted
 	codeClosed    = httpapi.CodeClosed
+	codeFailed    = httpapi.CodeFailed
 	codeOrphaned  = httpapi.CodeOrphaned
 	codeNotFound  = httpapi.CodeNotFound
 	codeShutdown  = httpapi.CodeShutdown
@@ -127,6 +128,11 @@ func writeDrawError(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusServiceUnavailable, codeOrphaned, err)
 	case errors.Is(err, ErrUnreachable):
 		httpError(w, http.StatusBadGateway, httpapi.CodeUnreachable, err)
+	case errors.Is(err, service.ErrFailed):
+		// Permanent session death — distinct from a caller-initiated
+		// close, checked before ErrClosed because failed errors may wrap
+		// the zeroized pool's sentinel too.
+		httpError(w, http.StatusGone, codeFailed, err)
 	case errors.Is(err, keypool.ErrClosed):
 		httpError(w, http.StatusGone, codeClosed, err)
 	default:

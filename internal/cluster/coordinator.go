@@ -11,7 +11,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/keypool"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -49,6 +48,14 @@ type Config struct {
 	// Spans is the span ring edge requests are recorded to. Nil means
 	// obs.DefaultSpans().
 	Spans *obs.SpanLog
+	// StateDir, when non-empty, persists the session registry there — an
+	// append-only journal plus periodic snapshots. A coordinator
+	// restarted on the same dir replays it, probes the recorded worker
+	// URLs, re-adopts sessions still live on surviving workers (same
+	// process, so byte-identical keystreams), and re-places only what
+	// died with the crash. Empty means no persistence (the pre-existing
+	// behavior: a restart loses the registry).
+	StateDir string
 }
 
 func (c *Config) fill() {
@@ -157,6 +164,12 @@ type Coordinator struct {
 	failed     atomic.Int64
 	reassigned atomic.Int64
 	restarts   atomic.Int64
+	adopted    atomic.Int64
+
+	// jnl is the registry journal, nil unless Config.StateDir is set.
+	// Appends happen under c.mu so the on-disk record order matches the
+	// registry's mutation order exactly.
+	jnl *journal
 
 	// epoch counts ownership-map revisions: any transition that changes
 	// which worker (or URL) serves which session bumps it. Gates poll it
@@ -187,7 +200,11 @@ func (c *Coordinator) triggerPlacement() {
 }
 
 // New spawns cfg.Workers workers and starts supervising them. Call
-// Shutdown to drain the whole tier.
+// Shutdown to drain the whole tier. With Config.StateDir set, a
+// previous coordinator's registry is replayed first: workers recorded
+// there that still answer their control RPC are adopted in place —
+// their live sessions keep serving the same keystream bytes — and only
+// the rest are spawned fresh.
 func New(cfg Config) (*Coordinator, error) {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -201,6 +218,19 @@ func New(cfg Config) (*Coordinator, error) {
 		obs:      cfg.Obs,
 		spans:    cfg.Spans,
 	}
+	var rec *recoveredState
+	if cfg.StateDir != "" {
+		jnl, state, err := openJournal(cfg.StateDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("cluster: state dir %s: %w", cfg.StateDir, err)
+		}
+		c.jnl = jnl
+		rec = state
+	}
+	if rec != nil {
+		c.recoverRegistry(rec)
+	}
 	// Supervision counters already live as atomics for ClusterMetrics;
 	// the func collectors export the same values through the registry so
 	// the fleet merge and /metrics.json carry them too.
@@ -210,12 +240,22 @@ func New(cfg Config) (*Coordinator, error) {
 	c.obs.CounterFunc("thinaird_cluster_respawns_total",
 		"Worker processes respawned by supervision.",
 		func() float64 { return float64(c.restarts.Load()) })
+	c.obs.CounterFunc("thinaird_cluster_adoptions_total",
+		"Live worker sessions re-adopted across a coordinator restart.",
+		func() float64 { return float64(c.adopted.Load()) })
 	for i := 0; i < cfg.Workers; i++ {
+		if sl := c.adoptSlot(ctx, i, rec); sl != nil {
+			c.slots = append(c.slots, sl)
+			continue
+		}
 		proc, err := cfg.Spawn(ctx, c.spawnOpts(i))
 		if err != nil {
 			cancel()
 			for _, sl := range c.slots {
 				_ = sl.proc.Kill()
+			}
+			if c.jnl != nil {
+				c.jnl.close()
 			}
 			return nil, fmt.Errorf("cluster: spawning worker %d: %w", i, err)
 		}
@@ -226,11 +266,137 @@ func New(cfg Config) (*Coordinator, error) {
 			alive:  true,
 		})
 	}
+	if c.jnl != nil {
+		// Record the fleet as it stands and cut a fresh snapshot: the new
+		// epoch, the adopted/spawned worker URLs, and the recovered
+		// registry become the durable baseline before traffic resumes.
+		c.mu.Lock()
+		for _, sl := range c.slots {
+			c.journalLocked(journalRecord{
+				Op: jopWorker, Slot: sl.slot, URL: sl.proc.URL(), PID: sl.proc.PID(),
+			})
+		}
+		c.jnl.compact(c.persistStateLocked())
+		c.mu.Unlock()
+	}
 	for _, sl := range c.slots {
 		c.wg.Add(1)
 		go c.supervise(sl)
 	}
+	if rec != nil {
+		// Sessions whose worker really died with the old coordinator are
+		// sitting orphaned; re-place them without waiting a heartbeat.
+		c.triggerPlacement()
+	}
 	return c, nil
+}
+
+// recoverRegistry rebuilds the in-memory registry from replayed state.
+// Every non-failed session starts orphaned: assignment must be
+// re-proven by adoption probes (adoptSlot) or a fresh placement —
+// nothing is trusted to be hosted until a live worker says so. The
+// ownership epoch resumes strictly above every persisted value, so
+// gates that cached owners across the outage always see a bump.
+func (c *Coordinator) recoverRegistry(rec *recoveredState) {
+	if rec.nextID > c.nextID {
+		c.nextID = rec.nextID
+	}
+	c.epoch.Store(rec.epoch + 1)
+	for id, ps := range rec.sessions {
+		cs := &clusterSession{id: id, spec: ps.Spec, worker: -1, reassigns: ps.Reassigns}
+		if ps.State == sessionFailed {
+			// Failures are permanent and survive restarts: clients keep
+			// getting the failed verdict, not a ghost of the session.
+			cs.state = sessionFailed
+		} else {
+			cs.state = sessionOrphaned
+		}
+		c.sessions[id] = cs
+	}
+}
+
+// adoptSlot probes the recorded worker for slot i and adopts it when it
+// still answers: the existing process keeps its slot, its client, and —
+// crucially — its live sessions, which move straight back to assigned
+// without a respawn or a keystream restart. Returns nil (spawn fresh)
+// for unrecorded, retired, dead, or draining workers.
+func (c *Coordinator) adoptSlot(ctx context.Context, slot int, rec *recoveredState) *workerSlot {
+	if rec == nil {
+		return nil
+	}
+	pw := rec.workers[slot]
+	if pw == nil || pw.Retired || !pw.Alive || pw.URL == "" {
+		return nil
+	}
+	client := NewWorkerClient(pw.URL).WithObs(c.obs)
+	pctx, cancel := context.WithTimeout(ctx, adoptProbeTimeout)
+	st, err := client.Stats(pctx)
+	cancel()
+	if err != nil || st.Draining {
+		return nil
+	}
+	adopted := 0
+	c.mu.Lock()
+	for cid := range st.Sessions {
+		cs, ok := c.sessions[cid]
+		if !ok || cs.state != sessionOrphaned {
+			continue // strays are reaped by the first reconcile pass
+		}
+		cs.state = sessionAssigned
+		cs.worker = slot
+		cs.placedAt = time.Now()
+		adopted++
+	}
+	c.mu.Unlock()
+	c.adopted.Add(int64(adopted))
+	c.cfg.Logf("cluster: adopted surviving worker %d at %s (pid %d), %d live sessions re-adopted",
+		slot, pw.URL, st.PID, adopted)
+	return &workerSlot{
+		slot:   slot,
+		proc:   newAdoptedProc(pw.URL, st.PID),
+		client: client,
+		alive:  true,
+	}
+}
+
+// journalLocked appends one registry-transition record when persistence
+// is on, compacting once the journal grows past its threshold. Caller
+// holds c.mu — that is what keeps the on-disk order identical to the
+// registry mutation order.
+func (c *Coordinator) journalLocked(rec journalRecord) {
+	if c.jnl == nil {
+		return
+	}
+	rec.Epoch = c.epoch.Load()
+	if c.jnl.append(rec) {
+		c.jnl.compact(c.persistStateLocked())
+	}
+}
+
+// persistStateLocked snapshots the registry in its wire form. Caller
+// holds c.mu.
+func (c *Coordinator) persistStateLocked() persistState {
+	ps := persistState{NextID: c.nextID, Epoch: c.epoch.Load()}
+	for _, cs := range c.sessions {
+		if cs.state == sessionClosed {
+			continue
+		}
+		ps.Sessions = append(ps.Sessions, persistedSession{
+			ID: cs.id, Spec: cs.spec, Worker: cs.worker,
+			State: cs.state, Reassigns: cs.reassigns,
+		})
+	}
+	for _, sl := range c.slots {
+		pw := persistedWorker{
+			Slot: sl.slot, Alive: sl.alive, Retired: sl.retired,
+		}
+		if sl.proc != nil {
+			pw.URL = sl.proc.URL()
+			pw.PID = sl.proc.PID()
+		}
+		ps.Workers = append(ps.Workers, pw)
+	}
+	return ps
 }
 
 // healthyResetAfter is how long a restarted worker must stay healthy
@@ -328,6 +494,7 @@ func (c *Coordinator) onWorkerDeath(sl *workerSlot, reason string) {
 			orphaned++
 		}
 	}
+	c.journalLocked(journalRecord{Op: jopDown, Slot: sl.slot})
 	c.mu.Unlock()
 	c.epoch.Add(1)
 	client.CloseIdle()
@@ -344,6 +511,7 @@ func (c *Coordinator) respawn(sl *workerSlot) bool {
 	}
 	if sl.restarts >= c.cfg.MaxRestarts {
 		sl.retired = true
+		c.journalLocked(journalRecord{Op: jopRetire, Slot: sl.slot})
 		c.mu.Unlock()
 		c.cfg.Logf("cluster: worker %d exceeded %d restarts, slot retired", sl.slot, c.cfg.MaxRestarts)
 		c.triggerPlacement() // survivors absorb whatever the slot still owed
@@ -376,6 +544,7 @@ func (c *Coordinator) respawn(sl *workerSlot) bool {
 	sl.proc = proc
 	sl.client = NewWorkerClient(proc.URL()).WithObs(c.obs)
 	sl.alive = true
+	c.journalLocked(journalRecord{Op: jopWorker, Slot: sl.slot, URL: proc.URL(), PID: proc.PID()})
 	c.mu.Unlock()
 	c.epoch.Add(1) // the slot's URL changed; cached owners must re-resolve
 	c.cfg.Logf("cluster: worker %d respawned (pid %d)", sl.slot, proc.PID())
@@ -414,6 +583,7 @@ func (c *Coordinator) reconcile(sl *workerSlot, client *WorkerClient) {
 			cs.worker = -1
 			c.failed.Add(1)
 			c.epoch.Add(1)
+			c.journalLocked(journalRecord{Op: jopFail, ID: cs.id})
 			c.cfg.Logf("cluster: session %d lost on live worker %d, marked failed", cs.id, sl.slot)
 		}
 	}
@@ -538,6 +708,7 @@ func (c *Coordinator) placeSession(cs *clusterSession, reassign bool, releaseTo 
 				if reassign {
 					cs.reassigns++
 				}
+				c.journalLocked(journalRecord{Op: jopPlace, ID: cs.id, Slot: sl.slot, Reassign: reassign})
 			}
 			c.mu.Unlock()
 			if claimed {
@@ -605,6 +776,7 @@ func (c *Coordinator) placeOrphans() {
 			if !errors.Is(err, ErrNoWorkers) && !errors.Is(err, ErrShutdown) {
 				c.mu.Lock()
 				cs.state = sessionFailed
+				c.journalLocked(journalRecord{Op: jopFail, ID: cs.id})
 				c.mu.Unlock()
 				c.failed.Add(1)
 				c.cfg.Logf("cluster: reassigning session %d failed permanently: %v", cs.id, err)
@@ -640,6 +812,7 @@ func (c *Coordinator) Create(spec service.SessionSpec) (SessionInfo, error) {
 	// whose first placement is still in flight.
 	cs := &clusterSession{id: id, spec: spec, worker: -1, state: sessionPlacing}
 	c.sessions[id] = cs
+	c.journalLocked(journalRecord{Op: jopCreate, ID: id, Spec: &spec})
 	c.mu.Unlock()
 
 	// On error the claim is released straight to sessionClosed — never
@@ -648,6 +821,7 @@ func (c *Coordinator) Create(spec service.SessionSpec) (SessionInfo, error) {
 	if err := c.placeSession(cs, false, sessionClosed); err != nil {
 		c.mu.Lock()
 		delete(c.sessions, id)
+		c.journalLocked(journalRecord{Op: jopClose, ID: id})
 		c.mu.Unlock()
 		return SessionInfo{}, err
 	}
@@ -716,12 +890,12 @@ func (c *Coordinator) routeKeyRead(cid uint64, call func(*WorkerClient) ([]byte,
 	}
 	if client == nil {
 		if state == sessionFailed {
-			return nil, fmt.Errorf("%w: session %d failed", keypool.ErrClosed, cid)
+			return nil, fmt.Errorf("session %d died permanently: %w", cid, service.ErrFailed)
 		}
 		return nil, fmt.Errorf("%w: session %d", ErrOrphaned, cid)
 	}
 	key, err := call(client)
-	if errors.Is(err, ErrNotFound) {
+	if errors.Is(err, ErrNotFound) || errors.Is(err, service.ErrFailed) {
 		c.mu.Lock()
 		if cs.state == sessionAssigned {
 			if time.Since(cs.placedAt) < 2*c.cfg.HeartbeatEvery {
@@ -736,6 +910,7 @@ func (c *Coordinator) routeKeyRead(cid uint64, call func(*WorkerClient) ([]byte,
 			cs.worker = -1
 			c.failed.Add(1)
 			c.epoch.Add(1)
+			c.journalLocked(journalRecord{Op: jopFail, ID: cs.id})
 		}
 		c.mu.Unlock()
 	}
@@ -749,13 +924,15 @@ func (c *Coordinator) CloseSession(ctx context.Context, cid uint64) error {
 		return err
 	}
 	if client != nil {
-		if err := client.Close(ctx, cid); err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrUnreachable) {
+		if err := client.Close(ctx, cid); err != nil && !errors.Is(err, ErrNotFound) &&
+			!errors.Is(err, ErrUnreachable) && !errors.Is(err, service.ErrFailed) {
 			return err
 		}
 	}
 	c.mu.Lock()
 	cs.state = sessionClosed // an in-flight placement sees this and undoes itself
 	delete(c.sessions, cs.id)
+	c.journalLocked(journalRecord{Op: jopClose, ID: cs.id})
 	c.mu.Unlock()
 	c.removed.Add(1)
 	c.epoch.Add(1)
@@ -1060,7 +1237,38 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 		sl.client.CloseIdle()
 	}
 	c.mu.Unlock()
+	if c.jnl != nil {
+		// A drained tier has nothing to recover: cut a final snapshot so
+		// the next boot sees the (empty of live workers) truth instead of
+		// re-probing URLs of processes that just exited.
+		c.mu.Lock()
+		c.jnl.compact(c.persistStateLocked())
+		c.mu.Unlock()
+		c.jnl.close()
+	}
 	return firstErr
+}
+
+// Abandon stops the coordinator without draining or stopping its
+// workers — the crash-shaped exit. Supervision halts, the journal file
+// is released, and every worker process is left running exactly as a
+// SIGKILLed coordinator would leave it; a successor built on the same
+// StateDir re-adopts them. This is the in-process stand-in for kill -9
+// used by restart tests; production crash recovery needs no call here
+// (the journal is fsynced on every append).
+func (c *Coordinator) Abandon() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	c.wg.Wait()
+	if c.jnl != nil {
+		c.jnl.close()
+	}
 }
 
 // Uptime reports how long the coordinator has been running.

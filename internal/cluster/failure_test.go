@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/keypool"
+	"repro/internal/service"
 )
 
 // hungSpawner wraps InProcess but hides process exits from the
@@ -158,8 +159,13 @@ func TestCoordinatorDrawFailureStates(t *testing.T) {
 	c.mu.Lock()
 	cs.state = sessionFailed
 	c.mu.Unlock()
-	if _, err := c.Draw(ctx, info.ID, 8); !errors.Is(err, keypool.ErrClosed) {
-		t.Fatalf("failed session: %v, want keypool.ErrClosed", err)
+	if _, err := c.Draw(ctx, info.ID, 8); !errors.Is(err, service.ErrFailed) {
+		t.Fatalf("failed session: %v, want service.ErrFailed", err)
+	}
+	// Failed must stay distinct from graceful close on the typed-error
+	// level too — that distinction is the whole point of the code.
+	if _, err := c.Draw(ctx, info.ID, 8); errors.Is(err, keypool.ErrClosed) {
+		t.Fatalf("failed session classified as closed: %v", err)
 	}
 }
 
@@ -219,6 +225,7 @@ func TestRPCErrorMapping(t *testing.T) {
 		{codeOrphaned, ErrOrphaned},
 		{codeShutdown, ErrShutdown},
 		{codeClosed, keypool.ErrClosed},
+		{codeFailed, service.ErrFailed},
 		{codeExhausted, keypool.ErrExhausted},
 	}
 	for _, tc := range cases {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/keypool"
+	"repro/internal/service"
 )
 
 // workerBehind digs the in-process Worker out of a recorded proc so
@@ -53,8 +54,13 @@ func TestCoordinatorReconcileLostSession(t *testing.T) {
 		si, err := c.Session(ctx, info.ID)
 		return err == nil && si.State == sessionFailed
 	})
-	if _, err := c.Draw(ctx, info.ID, 8); !errors.Is(err, keypool.ErrClosed) {
-		t.Fatalf("draw from reconciled-away session: %v, want keypool.ErrClosed", err)
+	// The registry's verdict is "failed", never the closed shape a caller
+	// could mistake for their own graceful close.
+	if _, err := c.Draw(ctx, info.ID, 8); !errors.Is(err, service.ErrFailed) {
+		t.Fatalf("draw from reconciled-away session: %v, want service.ErrFailed", err)
+	}
+	if _, err := c.Draw(ctx, info.ID, 8); errors.Is(err, keypool.ErrClosed) {
+		t.Fatal("failed session still reports the graceful-close sentinel")
 	}
 	if m := c.Metrics(); m.Failed == 0 {
 		t.Fatalf("failure not counted: %+v", m)

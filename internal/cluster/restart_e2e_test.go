@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// stream fetches the raw range [off, off+n) of a session's key stream
+// over the public API, retrying the transient statuses the same way
+// draw does.
+func (cp *coordProc) stream(t *testing.T, cid uint64, off, n int64, within time.Duration) []byte {
+	t.Helper()
+	var got []byte
+	waitFor(t, within, fmt.Sprintf("stream [%d,%d) from session %d", off, off+n, cid), func() bool {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/sessions/%d/stream?offset=%d&len=%d", cp.base, cid, off, n))
+		if err != nil {
+			return false
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || rerr != nil || int64(len(body)) != n {
+			return false
+		}
+		got = body
+		return true
+	})
+	return got
+}
+
+// sigkill takes the coordinator down the hard way — no drain, no
+// journal compaction, no goodbye to the workers. Exactly what a power
+// cut or OOM kill looks like to the rest of the tier.
+func (cp *coordProc) sigkill(t *testing.T) {
+	t.Helper()
+	if err := cp.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-cp.exit:
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not die from SIGKILL")
+	}
+}
+
+// TestClusterE2ECoordinatorRestart is the crash-recovery acceptance
+// test, process boundaries and all: a coordinator with a state dir is
+// SIGKILLed mid-traffic, its worker processes outlive it on their
+// orphan grace, and a successor started on the same state dir replays
+// the journal, re-adopts the surviving workers by probing their
+// recorded URLs — same OS pids, zero respawns, zero reassignments —
+// and serves byte-identical stream ranges from the re-adopted
+// sessions. Teardown proves adopted workers still honor the successor's
+// SIGTERM even though they are no longer its children.
+func TestClusterE2ECoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level e2e skipped in -short")
+	}
+	bin := buildThinaird(t)
+	stateDir := t.TempDir()
+	stateArgs := []string{
+		"-workers", "2", "-worker-capacity", "8",
+		"-state-dir", stateDir, "-orphan-grace", "120s",
+	}
+	cp1 := startCoordinator(t, bin, stateArgs...)
+	addr := strings.TrimPrefix(cp1.base, "http://")
+
+	pids := make(map[int]bool)
+	collectWorkerPIDs(cp1.cluster(t), pids)
+	if len(pids) != 2 {
+		t.Fatalf("worker pids before the crash: %v, want 2", pids)
+	}
+
+	// Streamed sessions are the byte-identity probes: their key stream
+	// is offset-addressable and repeatable, so the same range read
+	// before the crash and after the restart must match exactly. The
+	// pool-fed session proves draw traffic resumes too.
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		sp := fastSpec(int64(7000 + i*13))
+		sp.Name = sessionName(i)
+		sp.Streamed = true
+		ids = append(ids, cp1.create(t, sp).ID)
+	}
+	poolSpec := fastSpec(7777)
+	poolSpec.Name = "pool-probe"
+	poolID := cp1.create(t, poolSpec).ID
+	cp1.waitAllConverged(t, append(append([]uint64{}, ids...), poolID), poolSpec.TargetDepth, 180*time.Second)
+
+	// Mid-traffic: draws push pools toward the low watermark so
+	// refreshers are running protocol rounds when the axe falls.
+	cp1.draw(t, poolID, 64, 30*time.Second)
+	refs := make(map[uint64][]byte, len(ids))
+	for _, id := range ids {
+		refs[id] = cp1.stream(t, id, 0, 512, 30*time.Second)
+	}
+
+	cp1.sigkill(t)
+
+	// The workers were told to outlive a dead coordinator: every pid
+	// must still be running on its orphan grace.
+	for pid := range pids {
+		if err := syscall.Kill(pid, 0); err != nil {
+			t.Fatalf("worker pid %d did not survive the coordinator crash: %v", pid, err)
+		}
+	}
+
+	// The successor binds the same address and replays the same state
+	// dir. Its ready line only prints after New() — journal replay and
+	// worker adoption included.
+	cp2 := startCoordinator(t, bin, append(append([]string{}, stateArgs...), "-addr", addr)...)
+	cm := cp2.cluster(t)
+	if cm.WorkersAlive != 2 {
+		t.Fatalf("workers alive after restart = %d, want 2", cm.WorkersAlive)
+	}
+	// Adoption, not respawn: the successor runs the very same worker
+	// processes the dead coordinator spawned.
+	after := make(map[int]bool)
+	collectWorkerPIDs(cm, after)
+	for pid := range after {
+		if !pids[pid] {
+			t.Fatalf("worker pid %d appeared after restart; survivors were %v — a survivor was respawned", pid, pids)
+		}
+	}
+	if len(after) != len(pids) {
+		t.Fatalf("worker pids after restart %v, want the surviving set %v", after, pids)
+	}
+	if cm.Restarts != 0 || cm.Reassigned != 0 {
+		t.Fatalf("restarts=%d reassigned=%d after adopting a fully-live fleet, want 0/0", cm.Restarts, cm.Reassigned)
+	}
+
+	// Re-adopted sessions serve the exact bytes they served before the
+	// crash — same placement, same stream position, no respawn.
+	for _, id := range ids {
+		got := cp2.stream(t, id, 0, 512, 60*time.Second)
+		if !bytes.Equal(got, refs[id]) {
+			t.Fatalf("session %d stream range differs across the coordinator restart", id)
+		}
+	}
+	cp2.draw(t, poolID, 64, 60*time.Second)
+
+	// The registry's id sequence survived the crash: new sessions never
+	// reuse a pre-crash id.
+	extra := fastSpec(8888)
+	extra.Name = "post-restart"
+	if ni := cp2.create(t, extra); ni.ID <= poolID {
+		t.Fatalf("post-restart session id %d not above pre-crash ids (max %d)", ni.ID, poolID)
+	}
+
+	// Graceful teardown must reach the adopted workers by pid signal —
+	// they are init's children now, not the successor's.
+	collectWorkerPIDs(cp2.cluster(t), pids)
+	cp2.shutdownAndCheckOrphans(t, pids)
+}
+
+// TestClusterE2ERestartRespawnsLostWorker: when one worker dies in the
+// same blackout as the coordinator, the successor adopts the survivor
+// and respawns only the missing slot; the lost worker's sessions come
+// back via reassignment while the survivor's ride through untouched.
+func TestClusterE2ERestartRespawnsLostWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level e2e skipped in -short")
+	}
+	bin := buildThinaird(t)
+	stateDir := t.TempDir()
+	stateArgs := []string{
+		"-workers", "2", "-worker-capacity", "8",
+		"-state-dir", stateDir, "-orphan-grace", "120s",
+	}
+	cp1 := startCoordinator(t, bin, stateArgs...)
+
+	var ids []uint64
+	var infos []SessionInfo
+	for i := 0; i < 4; i++ {
+		sp := fastSpec(int64(9100 + i*17))
+		sp.Name = sessionName(i)
+		sp.Streamed = true
+		info := cp1.create(t, sp)
+		ids = append(ids, info.ID)
+		infos = append(infos, info)
+	}
+	cp1.waitAllConverged(t, ids, fastSpec(0).TargetDepth, 180*time.Second)
+	refs := make(map[uint64][]byte, len(ids))
+	for _, id := range ids {
+		refs[id] = cp1.stream(t, id, 0, 256, 30*time.Second)
+	}
+
+	// Identify the doomed slot's pid and the survivor's before the
+	// blackout.
+	victimSlot := infos[0].Worker
+	var victimPID, survivorPID int
+	for _, wi := range cp1.cluster(t).Workers {
+		if wi.Slot == victimSlot {
+			victimPID = wi.PID
+		} else {
+			survivorPID = wi.PID
+		}
+	}
+	if victimPID == 0 || survivorPID == 0 {
+		t.Fatalf("missing worker pids: victim=%d survivor=%d", victimPID, survivorPID)
+	}
+
+	cp1.sigkill(t)
+	if err := syscall.Kill(victimPID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2 := startCoordinator(t, bin, stateArgs...)
+	waitFor(t, 120*time.Second, "adoption of the survivor + respawn of the lost slot", func() bool {
+		cm := cp2.cluster(t)
+		if cm.WorkersAlive != 2 {
+			return false
+		}
+		var list []SessionInfo
+		if cp2.getJSON("/v1/sessions", &list) != http.StatusOK {
+			return false
+		}
+		assigned := 0
+		for _, si := range list {
+			if si.State == sessionAssigned {
+				assigned++
+			}
+		}
+		return assigned == len(ids)
+	})
+	cm := cp2.cluster(t)
+	pidsAfter := make(map[int]bool)
+	collectWorkerPIDs(cm, pidsAfter)
+	if !pidsAfter[survivorPID] {
+		t.Fatalf("survivor pid %d gone after restart: %v — it was respawned instead of adopted", survivorPID, pidsAfter)
+	}
+	if pidsAfter[victimPID] {
+		t.Fatalf("dead worker pid %d still listed after restart", victimPID)
+	}
+
+	// Every session — adopted and reassigned alike — serves the exact
+	// pre-crash bytes: stream-fed sessions derive the same keystream
+	// from their journaled seed wherever they land.
+	for _, id := range ids {
+		got := cp2.stream(t, id, 0, 256, 120*time.Second)
+		if !bytes.Equal(got, refs[id]) {
+			t.Fatalf("session %d stream range differs across restart + respawn", id)
+		}
+	}
+	// Survivors' sessions specifically must not have been reassigned.
+	var list []SessionInfo
+	if cp2.getJSON("/v1/sessions", &list) != http.StatusOK {
+		t.Fatal("session list unavailable")
+	}
+	for _, si := range list {
+		if si.Worker != victimSlot && si.Reassigns != 0 {
+			t.Fatalf("session %d on surviving slot %d was reassigned %d times", si.ID, si.Worker, si.Reassigns)
+		}
+	}
+
+	pids := make(map[int]bool)
+	collectWorkerPIDs(cm, pids)
+	cp2.shutdownAndCheckOrphans(t, pids)
+}

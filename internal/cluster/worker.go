@@ -11,7 +11,9 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/httpapi"
@@ -58,9 +60,21 @@ type Worker struct {
 	byCluster map[uint64]*service.Session
 	pending   map[uint64]bool // assigns in flight (duplicate-check to map-insert)
 	draining  bool
+	// failedIDs is a bounded FIFO memory of cluster ids whose session
+	// died permanently, so lookups after the prune answer ErrFailed
+	// instead of a bare ErrNotFound (mirrors Service's failure memory).
+	failedIDs map[uint64]struct{}
+	failedLog []uint64
 
 	drainOnce sync.Once
 	drained   chan struct{} // closed once Drain has zeroized every pool
+
+	// lastCtl is the unix-nano arrival time of the most recent control
+	// RPC. A supervised worker process uses it to tell "my coordinator
+	// is gone for good" from "my coordinator is restarting and will
+	// re-adopt me": heartbeat probes from an adopting coordinator reset
+	// the clock, sustained control silence is a real orphaning.
+	lastCtl atomic.Int64
 }
 
 // NewWorker starts a worker around a fresh service instance.
@@ -142,6 +156,16 @@ func (w *Worker) Assign(cid uint64, spec service.SessionSpec) (*service.Session,
 		return nil, ErrDraining
 	}
 	w.byCluster[cid] = s
+	if _, ok := w.failedIDs[cid]; ok {
+		// The id lives again (same spec re-placed); forget the old death.
+		delete(w.failedIDs, cid)
+		for i, id := range w.failedLog {
+			if id == cid {
+				w.failedLog = append(w.failedLog[:i], w.failedLog[i+1:]...)
+				break
+			}
+		}
+	}
 	w.mu.Unlock()
 	return s, nil
 }
@@ -153,14 +177,41 @@ func (w *Worker) lookup(cid uint64) (*service.Session, error) {
 	defer w.mu.Unlock()
 	s, ok := w.byCluster[cid]
 	if !ok {
+		if _, failed := w.failedIDs[cid]; failed {
+			return nil, fmt.Errorf("cluster session %d: %w", cid, service.ErrFailed)
+		}
 		return nil, fmt.Errorf("%w: cluster session %d", ErrNotFound, cid)
 	}
 	if st := s.State(); st == service.StateClosed || st == service.StateFailed {
 		delete(w.byCluster, cid)
+		if st == service.StateFailed {
+			w.noteFailed(cid)
+			return nil, fmt.Errorf("cluster session %d: %w", cid, service.ErrFailed)
+		}
 		return nil, fmt.Errorf("%w: cluster session %d %v", ErrNotFound, cid, st)
 	}
 	return s, nil
 }
+
+// noteFailed records a permanently dead cluster id (caller holds w.mu).
+func (w *Worker) noteFailed(cid uint64) {
+	if w.failedIDs == nil {
+		w.failedIDs = make(map[uint64]struct{})
+	}
+	if _, ok := w.failedIDs[cid]; ok {
+		return
+	}
+	w.failedIDs[cid] = struct{}{}
+	w.failedLog = append(w.failedLog, cid)
+	if len(w.failedLog) > failedMemory {
+		delete(w.failedIDs, w.failedLog[0])
+		w.failedLog = w.failedLog[1:]
+	}
+}
+
+// failedMemory bounds the worker's dead-session memory, mirroring the
+// service-level bound.
+const failedMemory = 1024
 
 // Close gracefully stops one cluster session.
 func (w *Worker) Close(cid uint64) error {
@@ -291,10 +342,31 @@ func (w *Worker) Stats() WorkerStats {
 	return st
 }
 
+// LastControlActivity reports when the last control RPC arrived (zero
+// time if none has yet).
+func (w *Worker) LastControlActivity() time.Time {
+	ns := w.lastCtl.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // Handler returns the worker's HTTP surface: the control RPC under /ctl/
 // plus the ordinary service handler (its /metrics and /v1/sessions views
-// stay useful for debugging a single worker).
+// stay useful for debugging a single worker). Control requests stamp
+// LastControlActivity before dispatch.
 func (w *Worker) Handler() http.Handler {
+	inner := w.ctlMux()
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/ctl/") {
+			w.lastCtl.Store(time.Now().UnixNano())
+		}
+		inner.ServeHTTP(rw, r)
+	})
+}
+
+func (w *Worker) ctlMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", w.svc.Handler())
 	mux.HandleFunc("GET /ctl/healthz", func(rw http.ResponseWriter, r *http.Request) {
@@ -358,6 +430,10 @@ func (w *Worker) Handler() http.Handler {
 		}
 		m, err := w.Metrics(cid)
 		if err != nil {
+			if errors.Is(err, service.ErrFailed) {
+				httpError(rw, http.StatusGone, codeFailed, err)
+				return
+			}
 			httpError(rw, http.StatusNotFound, codeNotFound, err)
 			return
 		}
@@ -369,6 +445,10 @@ func (w *Worker) Handler() http.Handler {
 			return
 		}
 		if err := w.Close(cid); err != nil {
+			if errors.Is(err, service.ErrFailed) {
+				httpError(rw, http.StatusGone, codeFailed, err)
+				return
+			}
 			httpError(rw, http.StatusNotFound, codeNotFound, err)
 			return
 		}

@@ -91,11 +91,19 @@ func (a *agent) run() {
 
 // handshake runs the three-step opening: client handshake JSON, server
 // ack advertising the heartbeat interval, client handshake-ack.
+//
+// Every frame read refreshes lastSeen. The client only learns the
+// heartbeat interval from the ack, so it cannot have been heartbeating
+// during the handshake — without the refresh, a handshake that
+// legitimately took close to the sweep deadline would leave the freshly
+// established connection kickable before its first heartbeat was even
+// due.
 func (a *agent) handshake() bool {
 	typ, body, err := readFrame(a.conn, nil, maxControlBody)
 	if err != nil || typ != frameHandshake {
 		return false
 	}
+	a.lastSeen.Store(time.Now().UnixNano())
 	var hs handshake
 	if json.Unmarshal(body, &hs) != nil || hs.Version != protocolVersion {
 		a.kick("unsupported protocol version")
@@ -110,7 +118,11 @@ func (a *agent) handshake() bool {
 		return false
 	}
 	typ, _, err = readFrame(a.conn, nil, maxControlBody)
-	return err == nil && typ == frameHandshakeAck
+	if err != nil || typ != frameHandshakeAck {
+		return false
+	}
+	a.lastSeen.Store(time.Now().UnixNano())
+	return true
 }
 
 // handle serves one data request on its own goroutine.

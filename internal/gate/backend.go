@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -13,7 +14,6 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/httpapi"
-	"repro/internal/keypool"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -194,18 +194,42 @@ func (b *ClusterBackend) Close() error {
 	return nil
 }
 
+// watchBackoffCap bounds the error backoff at this multiple of the base
+// poll period: 500ms base → 8s worst-case between polls against a dead
+// coordinator.
+const watchBackoffCap = 16
+
+// jitterDuration spreads d over [0.75d, 1.25d) so independent pollers
+// sharing a period drift apart instead of firing in lockstep.
+func jitterDuration(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d*3/4 + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
 // watchLoop polls the coordinator's ownership epoch and flushes the
 // session→owner cache whenever it moves: reassignments the gate has not
 // tripped over yet (no failed RPC) are still picked up within one poll.
+//
+// Every wait is jittered ±25% — a fleet of gates restarted together (or
+// all unblocked by one coordinator restart) must not converge on the
+// same poll phase and hammer the coordinator in lockstep. Consecutive
+// poll errors double the wait up to watchBackoffCap× the base period,
+// so the pressure on a recovering coordinator falls off exactly when it
+// is weakest; one successful poll snaps back to the base period.
 func (b *ClusterBackend) watchLoop() {
 	defer b.wg.Done()
-	t := time.NewTicker(b.watch)
-	defer t.Stop()
+	rng := rand.New(rand.NewSource(rand.Int63()))
+	jittered := func(d time.Duration) time.Duration { return jitterDuration(rng, d) }
+	fails := 0
+	timer := time.NewTimer(jittered(b.watch))
+	defer timer.Stop()
 	for {
 		select {
 		case <-b.stop:
 			return
-		case <-t.C:
+		case <-timer.C:
 		}
 		b.mu.Lock()
 		since := b.epoch
@@ -215,8 +239,18 @@ func (b *ClusterBackend) watchLoop() {
 		cancel()
 		if err != nil {
 			b.watchErrs.Inc()
+			if fails < 31 { // avoid shift overflow; the cap kicks in long before
+				fails++
+			}
+			backoff := b.watch << min(fails, 5)
+			if backoff > watchBackoffCap*b.watch {
+				backoff = watchBackoffCap * b.watch
+			}
+			timer.Reset(jittered(backoff))
 			continue
 		}
+		fails = 0
+		timer.Reset(jittered(b.watch))
 		if !changed {
 			continue
 		}
@@ -245,7 +279,7 @@ func (b *ClusterBackend) invalidate(session uint64) {
 // resolve returns the worker client owning session, consulting the
 // cache first unless force re-resolves. Sessions the coordinator knows
 // but cannot currently serve surface as ErrOrphaned (retryable) or, for
-// permanently failed ones, keypool.ErrClosed.
+// permanently failed ones, service.ErrFailed.
 func (b *ClusterBackend) resolve(ctx context.Context, session uint64, force bool) (*cluster.WorkerClient, error) {
 	if !force {
 		b.mu.Lock()
@@ -263,7 +297,9 @@ func (b *ClusterBackend) resolve(ctx context.Context, session uint64, force bool
 	}
 	if oi.URL == "" {
 		if oi.State == "failed" {
-			return nil, fmt.Errorf("%w: session %d failed", keypool.ErrClosed, session)
+			// Permanent session death, NOT a graceful close: surface the
+			// dedicated sentinel so clients can tell the two apart.
+			return nil, fmt.Errorf("session %d died permanently: %w", session, service.ErrFailed)
 		}
 		return nil, fmt.Errorf("%w: session %d", cluster.ErrOrphaned, session)
 	}
@@ -373,7 +409,9 @@ func (sb ServiceBackend) get(session uint64) (*service.Session, error) {
 	if session > 1<<32-1 {
 		return nil, fmt.Errorf("%w: session %d", service.ErrNotFound, session)
 	}
-	return sb.SV.Get(uint32(session))
+	// Lookup (not Get) so a permanently dead session surfaces as
+	// ErrFailed over the frame protocol too, matching the HTTP tiers.
+	return sb.SV.Lookup(uint32(session))
 }
 
 // resolverError decodes a resolver HTTP error through the shared

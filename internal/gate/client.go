@@ -147,6 +147,17 @@ func (c *Client) fail(err error) {
 	}
 }
 
+// Dead reports whether the connection hit its terminal error (kicked,
+// peer gone, heartbeat failure, or an explicit Close). Calls on a dead
+// client fail fast; ReconnectClient uses this to tell a connection
+// death (redial and, where safe, resume) from a typed backend error
+// (surface to the caller).
+func (c *Client) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
 // Close shuts the connection down. Outstanding calls return
 // ErrClientClosed.
 func (c *Client) Close() error {
@@ -374,38 +385,57 @@ func (c *Client) DrawN(ctx context.Context, session uint64, n, count int) ([][]b
 // stream, reassembling the partial-frame chunks the gate relays from
 // the owning worker.
 func (c *Client) StreamRange(ctx context.Context, session uint64, off, length int64) ([]byte, error) {
+	buf, err := c.streamRangePrefix(ctx, session, off, length, nil)
+	if err != nil {
+		// Accumulated partials are discarded: truncation stays loud.
+		return nil, err
+	}
+	return buf, nil
+}
+
+// streamRangePrefix is StreamRange keeping the received prefix on
+// failure: the range's bytes are appended to buf, and on error buf
+// holds every partial that arrived before the failure. ReconnectClient
+// resumes an interrupted range from exactly that offset on a fresh
+// connection, so bytes are delivered exactly once even across a gate
+// restart. Plain StreamRange discards the prefix instead.
+func (c *Client) streamRangePrefix(ctx context.Context, session uint64, off, length int64, buf []byte) ([]byte, error) {
 	if length <= 0 || length > httpapi.MaxStreamBytes {
-		return nil, fmt.Errorf("%w: stream length %d outside 1..%d",
+		return buf, fmt.Errorf("%w: stream length %d outside 1..%d",
 			client.ErrBadRequest, length, httpapi.MaxStreamBytes)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return buf, err
 	}
 	req := request{Op: opStream, Session: session, Off: off, Len: length, Span: obs.SpanID(ctx)}
 	p, err := c.send(req)
 	if err != nil {
-		return nil, err
+		return buf, err
 	}
 	reqID := req.ReqID
 	defer c.forget(reqID)
-	buf := make([]byte, 0, length)
+	if buf == nil {
+		buf = make([]byte, 0, length)
+	}
+	got := int64(0)
 	for {
 		resp, err := c.next(ctx, reqID, p)
 		if err != nil {
-			return nil, err
+			return buf, err
 		}
 		switch resp.Kind {
 		case kindPartial:
 			buf = append(buf, resp.Payload...)
+			got += int64(len(resp.Payload))
 		case kindFinal:
 			buf = append(buf, resp.Payload...)
-			if int64(len(buf)) != length {
-				return nil, fmt.Errorf("gate: stream returned %d bytes, want %d", len(buf), length)
+			got += int64(len(resp.Payload))
+			if got != length {
+				return buf, fmt.Errorf("gate: stream returned %d bytes, want %d", got, length)
 			}
 			return buf, nil
 		case kindError:
-			// Accumulated partials are discarded: truncation stays loud.
-			return nil, responseError(resp)
+			return buf, responseError(resp)
 		}
 	}
 }

@@ -91,6 +91,7 @@ const (
 	codeByteShutdown    = 9
 	codeByteUnreachable = 10
 	codeByteInternal    = 11
+	codeByteFailed      = 12
 )
 
 // codeToSlug maps wire bytes to the shared envelope slugs; slugToCode is
@@ -107,6 +108,7 @@ var codeToSlug = map[byte]string{
 	codeByteShutdown:    httpapi.CodeShutdown,
 	codeByteUnreachable: httpapi.CodeUnreachable,
 	codeByteInternal:    httpapi.CodeInternal,
+	codeByteFailed:      httpapi.CodeFailed,
 }
 
 var slugToCode = func() map[string]byte {

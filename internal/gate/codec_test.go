@@ -149,7 +149,7 @@ func TestWireCodeTable(t *testing.T) {
 		httpapi.CodeBadRequest, httpapi.CodeDraining, httpapi.CodeDuplicate,
 		httpapi.CodeSaturated, httpapi.CodeExhausted, httpapi.CodeClosed,
 		httpapi.CodeOrphaned, httpapi.CodeNotFound, httpapi.CodeShutdown,
-		httpapi.CodeUnreachable, httpapi.CodeInternal,
+		httpapi.CodeUnreachable, httpapi.CodeInternal, httpapi.CodeFailed,
 	} {
 		b, ok := slugToCode[slug]
 		if !ok {

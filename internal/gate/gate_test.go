@@ -188,6 +188,57 @@ func TestHeartbeatTimeoutKick(t *testing.T) {
 	}
 }
 
+// TestSlowHandshakeNotKickedEarly is the regression for the
+// heartbeat-kick window: lastSeen used to be stored once when the agent
+// started, so a connection whose handshake legitimately took close to
+// the sweep deadline was kickable the moment it completed — before its
+// first heartbeat was even due (the client only learns the interval
+// from the handshake ack). Handshake frame reads must refresh lastSeen.
+func TestSlowHandshakeNotKickedEarly(t *testing.T) {
+	const hb = 60 * time.Millisecond // sweep deadline: 3×hb = 180ms of silence
+	g := newTestGate(t, Config{HeartbeatEvery: hb})
+	server, cl := net.Pipe()
+	t.Cleanup(func() { cl.Close() })
+	go g.ServeConn(server)
+	// Each handshake step stays well inside the silence budget, but the
+	// handshake as a whole takes longer than it — the slow-dial shape.
+	// The old code pinned lastSeen at connection start, so the sweep saw
+	// the whole handshake as one long silence and kicked mid-handshake.
+	time.Sleep(2 * hb)
+	if err := writeFrame(cl, frameHandshake, []byte(`{"version":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := readFrame(cl, nil, 0)
+	if err != nil || typ != frameHandshake {
+		t.Fatalf("handshake ack: type 0x%02x, err %v", typ, err)
+	}
+	time.Sleep(2 * hb)
+	if err := writeFrame(cl, frameHandshakeAck, nil); err != nil {
+		t.Fatalf("handshake-ack write after stall: %v", err)
+	}
+	// Now behave: heartbeat well inside the interval for several sweep
+	// periods and assert every echo comes back instead of a kick.
+	for i := 0; i < 8; i++ {
+		if err := writeFrame(cl, frameHeartbeat, nil); err != nil {
+			t.Fatalf("heartbeat %d write: %v (kicked early?)", i, err)
+		}
+		typ, _, err := readFrame(cl, nil, 0)
+		if err != nil {
+			t.Fatalf("heartbeat %d read: %v (kicked early?)", i, err)
+		}
+		if typ == frameKick {
+			t.Fatalf("fresh connection kicked after %d heartbeats", i)
+		}
+		if typ != frameHeartbeat {
+			t.Fatalf("heartbeat %d echoed as type 0x%02x", i, typ)
+		}
+		time.Sleep(hb / 2)
+	}
+	if v := g.heartbeatTimeouts.Value(); v != 0 {
+		t.Fatalf("heartbeat_timeouts counter %d, want 0", v)
+	}
+}
+
 func TestMalformedDataFrameKicked(t *testing.T) {
 	g := newTestGate(t, Config{})
 	cl := rawConnect(t, g)

@@ -30,8 +30,14 @@ const (
 	// CodeExhausted signals the key pool is behind demand — retry after
 	// the refresher catches up.
 	CodeExhausted = "exhausted"
-	// CodeClosed signals a zeroized (closed or failed) pool — permanent.
+	// CodeClosed signals a gracefully closed (zeroized) pool — permanent,
+	// but the closure was asked for.
 	CodeClosed = "closed"
+	// CodeFailed signals a session that died permanently on its own
+	// (channel failure, refresh-abort budget exhausted) — permanent, and
+	// unlike CodeClosed nobody asked for it. Clients stop retrying and
+	// surface the death.
+	CodeFailed = "failed"
 	// CodeOrphaned signals the session lost its worker and reassignment
 	// is in flight — retryable.
 	CodeOrphaned = "orphaned"

@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -127,11 +128,16 @@ func (sv *Service) Handler() http.Handler {
 		if err != nil {
 			// Exhausted is the backpressure signal: the refresher is
 			// behind; the client retries after the pool recovers. A
-			// zeroized pool (failed or closed session) is permanent —
-			// Gone tells the client to stop retrying.
+			// zeroized pool is permanent — Gone tells the client to stop
+			// retrying, with the code distinguishing a session that died
+			// on its own (failed) from one that was closed.
 			status, code := http.StatusConflict, httpapi.CodeExhausted
 			if errors.Is(err, keypool.ErrClosed) {
 				status, code = http.StatusGone, httpapi.CodeClosed
+				if s.State() == StateFailed {
+					code = httpapi.CodeFailed
+					err = fmt.Errorf("%w: %w", ErrFailed, err)
+				}
 			}
 			httpError(w, status, code, err)
 			if obsOn {
@@ -226,6 +232,10 @@ func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Sessio
 			status, code := http.StatusConflict, httpapi.CodeExhausted
 			if errors.Is(derr, keypool.ErrClosed) {
 				status, code = http.StatusGone, httpapi.CodeClosed
+				if s.State() == StateFailed {
+					code = httpapi.CodeFailed
+					derr = fmt.Errorf("%w: %w", ErrFailed, derr)
+				}
 			}
 			httpError(w, status, code, derr)
 			return false
@@ -236,7 +246,12 @@ func (sv *Service) serveStream(w http.ResponseWriter, r *http.Request, s *Sessio
 		return true
 	}
 	if err != nil {
-		httpError(w, http.StatusGone, httpapi.CodeClosed, err)
+		code := httpapi.CodeClosed
+		if s.State() == StateFailed {
+			code = httpapi.CodeFailed
+			err = fmt.Errorf("%w: %w", ErrFailed, err)
+		}
+		httpError(w, http.StatusGone, code, err)
 		return false
 	}
 	return httpapi.StreamBody(w, r, src, n)
@@ -248,8 +263,15 @@ func (sv *Service) sessionFromPath(w http.ResponseWriter, r *http.Request) (*Ses
 		httpError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err)
 		return nil, false
 	}
-	s, err := sv.Get(uint32(id))
+	s, err := sv.Lookup(uint32(id))
 	if err != nil {
+		if errors.Is(err, ErrFailed) {
+			// The session died permanently — Gone with the failed code,
+			// so clients can tell death from their own Close (closed) and
+			// from a plain unknown id (not_found).
+			httpError(w, http.StatusGone, httpapi.CodeFailed, err)
+			return nil, false
+		}
 		httpError(w, http.StatusNotFound, httpapi.CodeNotFound, err)
 		return nil, false
 	}

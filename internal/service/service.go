@@ -34,6 +34,13 @@ var ErrShutdown = errors.New("service: shutting down")
 // ErrNotFound is returned when addressing an unknown session id.
 var ErrNotFound = errors.New("service: no such session")
 
+// ErrFailed is returned when addressing a session that died permanently
+// on its own — dead channel, refresh-failure budget exhausted — as
+// opposed to one the caller closed. The distinction matters to clients:
+// closed means "you asked for this", failed means "the session is gone
+// and retrying will not bring it back".
+var ErrFailed = errors.New("service: session failed")
+
 // Config parameterizes the daemon.
 type Config struct {
 	// MaxSessions bounds the number of concurrently RUNNING sessions —
@@ -96,6 +103,14 @@ type Service struct {
 	removed  atomic.Int64
 	failed   atomic.Int64
 
+	// Failed sessions leave the registry immediately (no unbounded
+	// accumulation in a long-lived daemon), but their ids are remembered
+	// in a bounded FIFO so lookups can answer ErrFailed instead of a
+	// bare ErrNotFound.
+	failedMu  sync.Mutex
+	failedIDs map[uint32]struct{}
+	failedLog []uint32
+
 	obs   *obs.Registry
 	spans *obs.SpanLog
 	// Draw / stream-range latency handles, resolved once per outcome so
@@ -156,6 +171,7 @@ func (sv *Service) runner() {
 			s.run()
 			if s.State() == StateFailed {
 				sv.failed.Add(1)
+				sv.noteFailed(s.ID)
 			}
 			sv.forget(s.ID)
 		}
@@ -230,6 +246,49 @@ func (sv *Service) Get(id uint32) (*Session, error) {
 		return s, nil
 	}
 	return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+}
+
+// failedMemory bounds how many dead session ids the daemon remembers —
+// enough to answer any client that raced the failure, small enough to
+// never matter.
+const failedMemory = 1024
+
+func (sv *Service) noteFailed(id uint32) {
+	sv.failedMu.Lock()
+	defer sv.failedMu.Unlock()
+	if sv.failedIDs == nil {
+		sv.failedIDs = make(map[uint32]struct{})
+	}
+	if _, ok := sv.failedIDs[id]; ok {
+		return
+	}
+	sv.failedIDs[id] = struct{}{}
+	sv.failedLog = append(sv.failedLog, id)
+	if len(sv.failedLog) > failedMemory {
+		delete(sv.failedIDs, sv.failedLog[0])
+		sv.failedLog = sv.failedLog[1:]
+	}
+}
+
+// FailedRecently reports whether id belonged to a session that died
+// permanently (within the daemon's bounded failure memory).
+func (sv *Service) FailedRecently(id uint32) bool {
+	sv.failedMu.Lock()
+	defer sv.failedMu.Unlock()
+	_, ok := sv.failedIDs[id]
+	return ok
+}
+
+// Lookup is Get plus the failure memory: a session that died permanently
+// resolves to ErrFailed instead of a bare ErrNotFound, so the HTTP and
+// gate surfaces can tell clients to stop retrying. The returned error
+// still matches ErrNotFound (the registry really has no such session).
+func (sv *Service) Lookup(id uint32) (*Session, error) {
+	s, err := sv.Get(id)
+	if err != nil && sv.FailedRecently(id) {
+		return nil, fmt.Errorf("session %d: %w", id, errors.Join(ErrNotFound, ErrFailed))
+	}
+	return s, err
 }
 
 // Sessions returns every session the daemon knows, sorted by id.

@@ -356,6 +356,7 @@ var (
 	ErrSaturated   = client.ErrSaturated
 	ErrExhausted   = client.ErrExhausted
 	ErrClosed      = client.ErrClosed
+	ErrFailed      = client.ErrFailed
 	ErrBadRequest  = client.ErrBadRequest
 	ErrInternal    = client.ErrInternal
 )
@@ -371,6 +372,23 @@ func DialGate(addr string) (Client, error) { return gate.Dial(addr) }
 
 // DialGateWS is DialGate over a WebSocket upgrade (ws://host/path).
 func DialGateWS(url string) (Client, error) { return gate.DialWS(url) }
+
+// ErrInterrupted marks a draw cut by a connection loss on a
+// reconnecting gate client. The draw is NEVER replayed — the gate may
+// have consumed the pool bytes before the cut — so the caller decides
+// whether to re-issue. Stream ranges don't need it: they resume from
+// the written offset transparently.
+var ErrInterrupted = gate.ErrInterrupted
+
+// DialGateReconnect is DialGate returning a self-healing client: when
+// the connection dies (gate restart, kick, network cut) the next call
+// re-dials with jittered exponential backoff. Stream ranges resume from
+// the written offset so each byte is delivered exactly once; draws are
+// never replayed (ErrInterrupted).
+func DialGateReconnect(addr string) (Client, error) { return gate.DialReconnect(addr) }
+
+// DialGateReconnectWS is DialGateReconnect over a WebSocket upgrade.
+func DialGateReconnectWS(url string) (Client, error) { return gate.DialReconnectWS(url) }
 
 // Gate-tier re-exports: the persistent-connection front tier that serves
 // the Client API over multiplexed frames and streams ranges directly
