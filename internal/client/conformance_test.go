@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net"
 	"net/http/httptest"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -255,6 +257,96 @@ func TestFailedCodeConformance(t *testing.T) {
 			// And distinct from a genuinely unknown id on the same tier.
 			if _, err := c.Draw(ctx, session+9999, 8); errors.Is(err, client.ErrFailed) {
 				t.Fatalf("unknown session classified as failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestConcurrentDrawConformance pins the draw-batching contract across
+// all three transports: concurrent Draw and DrawN callers against one
+// session receive pairwise byte-disjoint slices that tile the session's
+// deterministic keystream with no gaps (the server-side combiner
+// coalesces them into shared pool operations, but never tears,
+// duplicates, or skips material), an over-depth draw fails whole with
+// ErrExhausted, and the failure consumes nothing.
+func TestConcurrentDrawConformance(t *testing.T) {
+	for _, tr := range tiers() {
+		t.Run(tr.name, func(t *testing.T) {
+			c, session := tr.setup(t)
+			ctx := context.Background()
+
+			const callers = 8
+			const per = 32 // callers draw per bytes each, as Draw or DrawN
+			var wg sync.WaitGroup
+			slices := make([][]byte, callers)
+			errs := make([]error, callers)
+			wg.Add(callers)
+			for i := 0; i < callers; i++ {
+				go func(i int) {
+					defer wg.Done()
+					if i%2 == 0 {
+						slices[i], errs[i] = c.Draw(ctx, session, per)
+						return
+					}
+					// DrawN is one wire draw split client-side, so its keys
+					// concatenate to one contiguous stream slice.
+					keys, err := c.DrawN(ctx, session, per/4, 4)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					for _, k := range keys {
+						slices[i] = append(slices[i], k...)
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("caller %d: %v", i, err)
+				}
+			}
+
+			// Pool draws consume the keystream sequentially, so each slice
+			// sits at some offset of the (non-consuming, re-readable) stream
+			// prefix, and together they must tile a contiguous run. The run
+			// may start past 0: tier setup probes consume a few bytes.
+			ref, err := c.StreamRange(ctx, session, 0, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offs := make([]int, callers)
+			for i, sl := range slices {
+				off := bytes.Index(ref, sl)
+				if off < 0 {
+					t.Fatalf("caller %d's draw is not a slice of the session keystream", i)
+				}
+				if next := bytes.Index(ref[off+1:], sl); next >= 0 {
+					t.Fatalf("caller %d's draw appears twice in the stream prefix; tiling ambiguous", i)
+				}
+				offs[i] = off
+			}
+			sort.Ints(offs)
+			for i := 1; i < len(offs); i++ {
+				if offs[i] != offs[i-1]+per {
+					t.Fatalf("draw offsets %v are not gap-free (disjointness or completeness broken)", offs)
+				}
+			}
+			end := offs[len(offs)-1] + per
+
+			// All-or-nothing on a short pool: a draw larger than the pool's
+			// target depth can never be served and must fail whole...
+			if _, err := c.Draw(ctx, session, 2048); !errors.Is(err, client.ErrExhausted) {
+				t.Fatalf("over-depth draw: got %v, want ErrExhausted", err)
+			}
+			// ...without consuming anything: the next draw continues exactly
+			// where the successful ones stopped.
+			after, err := c.Draw(ctx, session, per)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(after, ref[end:end+per]) {
+				t.Fatalf("draw after a failed over-depth draw is not the contiguous continuation at offset %d", end)
 			}
 		})
 	}

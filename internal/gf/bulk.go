@@ -177,9 +177,21 @@ func (f *Field[E]) addMul(dst, src []E, c E, nc *nibCache) {
 				nc.c, nc.valid = uint16(c), true
 			}
 			d, s := as16(dst), as16(src)
-			blocks := n / (kernelBlockBytes / 2)
-			head := blocks * (kernelBlockBytes / 2)
-			archAddMul16(&d[0], &s[0], blocks, &nc.t16)
+			off := 0
+			if planar16 {
+				// Whole 64-word strips go through the byte-planar
+				// kernel: tables stay resident for the whole call and
+				// each VPSHUFB covers 32 symbols instead of 16.
+				if strips := n / (fusedStripBytes / 2); strips > 0 {
+					archAddMulPlanar16(&d[0], &s[0], strips, &nc.t16)
+					off = strips * (fusedStripBytes / 2)
+				}
+			}
+			blocks := (n - off) / (kernelBlockBytes / 2)
+			if blocks > 0 {
+				archAddMul16(&d[off], &s[off], blocks, &nc.t16)
+			}
+			head := off + blocks*(kernelBlockBytes/2)
 			addMulNib16(d[head:], s[head:], &nc.t16)
 			return
 		}
@@ -438,7 +450,11 @@ func (f *Field[E]) fusedAddMulSlices16(dst []E, srcs [][]E, cs []E) {
 			// Only zero coefficients gathered; nothing to apply.
 		case 1:
 			if strips > 0 {
-				archAddMul16(&d[0], sp[0], strips*fusedStripBytes/kernelBlockBytes, &ts[0])
+				if planar16 {
+					archAddMulPlanar16(&d[0], sp[0], strips, &ts[0])
+				} else {
+					archAddMul16(&d[0], sp[0], strips*fusedStripBytes/kernelBlockBytes, &ts[0])
+				}
 			}
 			addMulNib16(d[head:], tl[0], &ts[0])
 		case 2:
@@ -452,7 +468,11 @@ func (f *Field[E]) fusedAddMulSlices16(dst []E, srcs [][]E, cs []E) {
 			// 4-term kernel.
 			if strips > 0 {
 				archAddMul2x16(&d[0], &sp[0], strips, &ts[0])
-				archAddMul16(&d[0], sp[2], strips*fusedStripBytes/kernelBlockBytes, &ts[2])
+				if planar16 {
+					archAddMulPlanar16(&d[0], sp[2], strips, &ts[2])
+				} else {
+					archAddMul16(&d[0], sp[2], strips*fusedStripBytes/kernelBlockBytes, &ts[2])
+				}
 			}
 			addMulNib16x2(d[head:], tl[0], tl[1], &ts)
 			addMulNib16(d[head:], tl[2], &ts[2])

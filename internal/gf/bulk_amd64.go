@@ -33,6 +33,16 @@ func archMul8(dst, src *uint8, blocks int, t *nib8)       { gf8MulAVX2(dst, src,
 func archAddMul16(dst, src *uint16, blocks int, t *nib16) { gf16AddMulAVX2(dst, src, blocks, t) }
 func archMul16(dst, src *uint16, blocks int, t *nib16)    { gf16MulAVX2(dst, src, blocks, t) }
 
+// planar16 gates the byte-planar single-source GF(2^16) kernel: on amd64
+// whole 128-byte strips of AddMul route through archAddMulPlanar16, which
+// broadcasts the term's tables once and keeps them resident across every
+// strip. Other arches keep the interleaved block kernels.
+const planar16 = true
+
+func archAddMulPlanar16(dst, src *uint16, strips int, t *nib16) {
+	gf16AddMulPlanarAVX2(dst, src, strips, t)
+}
+
 // Fused multi-source shims: strips of fusedStripBytes; srcs points at an
 // array of 2 or 4 source pointers, ts at as many contiguous nibble
 // tables.
@@ -101,6 +111,12 @@ func gf16AddMulAVX2(dst, src *uint16, blocks int, t *nib16)
 
 //go:noescape
 func gf16MulAVX2(dst, src *uint16, blocks int, t *nib16)
+
+// The planar single-source strip kernel: strips*64 words, tables
+// broadcast once per call. dst and src must not overlap (AddMul only).
+//
+//go:noescape
+func gf16AddMulPlanarAVX2(dst, src *uint16, strips int, t *nib16)
 
 // The fused strip kernels. Each processes exactly strips*128 bytes of
 // the accumulator, reading the same span of every source; srcs and ts

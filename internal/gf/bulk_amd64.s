@@ -464,6 +464,37 @@ gf16addmul4_loop:
 	VZEROUPPER
 	RET
 
+// func gf16AddMulPlanarAVX2(dst, src *uint16, strips int, t *nib16)
+// dst[i] ^= c*src[i] over strips*64 words — the single-source kernel in
+// the fused kernels' byte-planar layout. With only one coefficient in
+// play its eight tables are broadcast ONCE and stay resident in Y0-Y7
+// for the whole call (the fused kernels must re-broadcast per strip),
+// so a strip costs just the deinterleave, 2x20 planar-term ops and the
+// reinterleave: ~36 ops per 32 words against ~54 on the interleaved
+// GF16BLOCK path. Accumulator planes in Y8-Y11, transients Y12-Y15 —
+// the same register budget as the fused kernels.
+TEXT ·gf16AddMulPlanarAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ strips+16(FP), CX
+	MOVQ t+24(FP), DX
+	GF16TABS(0)
+
+gf16planar_loop:
+	GF16ZEROACC
+	GF16DEINT(0, SI, Y14, Y15, Y12, Y13)
+	GF16PLANARTERM(Y8, Y9)
+	GF16DEINT(64, SI, Y14, Y15, Y12, Y13)
+	GF16PLANARTERM(Y10, Y11)
+	GF16REINT(0, Y8, Y9, Y12, Y13)
+	GF16REINT(64, Y10, Y11, Y12, Y13)
+	ADDQ $128, DI
+	ADDQ $128, SI
+	DECQ CX
+	JNZ  gf16planar_loop
+	VZEROUPPER
+	RET
+
 // func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuidex(SB), NOSPLIT, $0-24
 	MOVL eaxIn+0(FP), AX

@@ -24,6 +24,12 @@ func archMul8(dst, src *uint8, blocks int, t *nib8)       { panic("gf: no arch k
 func archAddMul16(dst, src *uint16, blocks int, t *nib16) { panic("gf: no arch kernel") }
 func archMul16(dst, src *uint16, blocks int, t *nib16)    { panic("gf: no arch kernel") }
 
+// No planar single-source kernel without NEON; the routing layer keeps
+// the interleaved block path (unreachable while accel is false anyway).
+const planar16 = false
+
+func archAddMulPlanar16(dst, src *uint16, strips int, t *nib16) { panic("gf: no arch kernel") }
+
 func archAddMul2x8(dst *uint8, srcs **uint8, strips int, ts *nib8) {
 	panic("gf: no arch kernel")
 }

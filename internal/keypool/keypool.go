@@ -311,6 +311,124 @@ func (p *Pool) DrawN(k, size int) ([][]byte, error) {
 	}
 }
 
+// TryDrawInto is DrawInto's contention probe: it serves dst immediately
+// if the pool mutex is free and reports handled=false (dst untouched,
+// nothing consumed) if another goroutine holds it. Callers use it to
+// combine adaptively — draw directly while the lock is uncontended, fall
+// back to a batching path the moment it is not.
+func (p *Pool) TryDrawInto(dst []byte) (handled bool, err error) {
+	if !p.mu.TryLock() {
+		return false, nil
+	}
+	return true, p.drawIntoLocked(dst)
+}
+
+// DrawInto fills dst with len(dst) bytes of key material, the
+// allocation-free form of Draw: the caller owns dst (typically a slice
+// carved from a batch slab or a reusable arena) and the pool copies
+// directly into it. Semantics match Draw exactly — all-or-nothing,
+// pool copy zeroized, low-water signal, best-effort top-up.
+func (p *Pool) DrawInto(dst []byte) error {
+	p.mu.Lock()
+	return p.drawIntoLocked(dst)
+}
+
+// drawIntoLocked finishes a DrawInto whose caller already holds p.mu
+// (and releases it).
+func (p *Pool) drawIntoLocked(dst []byte) error {
+	n := len(dst)
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return ErrClosed
+		}
+		if len(p.buf) >= n {
+			copy(dst, p.buf[:n])
+			zero(p.buf[:n])
+			p.buf = p.buf[n:]
+			p.drawn += int64(n)
+			low := len(p.buf) < p.lowWater
+			if low {
+				p.lowWaterHits++
+				if p.notify != nil {
+					select {
+					case p.notify <- struct{}{}:
+					default: // refresher already signaled
+					}
+				}
+			}
+			topUp := low && p.refill != nil && p.consecFails < refillFailureLimit
+			watermark := p.lowWater
+			p.mu.Unlock()
+			if topUp {
+				_ = p.tryRefill(watermark)
+			}
+			return nil
+		}
+		p.mu.Unlock()
+		if p.refill == nil {
+			return fmt.Errorf("%w: want %d, have %d", ErrExhausted, n, p.Available())
+		}
+		if err := p.tryRefill(n); err != nil {
+			return fmt.Errorf("keypool: refill: %w", err)
+		}
+		p.mu.Lock()
+	}
+}
+
+// DrawBatch serves many pending draws under ONE lock acquisition: dsts
+// holds the callers' destination buffers in arrival order, and errs
+// (same length) receives each caller's verdict. Buffers are served
+// greedily in FIFO order, each independently all-or-nothing against the
+// material remaining after its predecessors — exactly the outcome the
+// same callers would have seen issuing sequential Draws, so batching is
+// invisible to semantics: a small request behind a too-large one still
+// succeeds, a too-large one still fails with ErrExhausted without
+// consuming anything. At most one low-water signal fires for the whole
+// batch, and served entries allocate nothing. DrawBatch never invokes a
+// synchronous
+// RefillFunc — combiners sit on the async-refresher path; a caller that
+// wants the refill loop falls back to Draw/DrawInto on ErrExhausted
+// entries. Returns the number of buffers served.
+func (p *Pool) DrawBatch(dsts [][]byte, errs []error) int {
+	if len(dsts) != len(errs) {
+		panic("keypool: DrawBatch dsts/errs length mismatch")
+	}
+	served := 0
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return 0
+	}
+	for i, dst := range dsts {
+		n := len(dst)
+		if n > len(p.buf) {
+			errs[i] = fmt.Errorf("%w: want %d, have %d", ErrExhausted, n, len(p.buf))
+			continue
+		}
+		copy(dst, p.buf[:n])
+		zero(p.buf[:n])
+		p.buf = p.buf[n:]
+		p.drawn += int64(n)
+		errs[i] = nil
+		served++
+	}
+	if len(p.buf) < p.lowWater {
+		p.lowWaterHits++
+		if p.notify != nil {
+			select {
+			case p.notify <- struct{}{}:
+			default: // refresher already signaled
+			}
+		}
+	}
+	p.mu.Unlock()
+	return served
+}
+
 // DrawPad is Draw specialized for one-time-pad use: it returns a pad of
 // exactly len(plain) bytes and the XOR of plain with it, consuming the
 // pad from the pool. Decryption is XOR with the same pad, so peers

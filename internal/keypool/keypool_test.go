@@ -333,3 +333,165 @@ func TestDrawNAllocs(t *testing.T) {
 		t.Errorf("DrawN(32, 16) allocates %v times per run, want <= 2", n)
 	}
 }
+
+// TestDrawIntoMatchesDraw pins DrawInto as the allocation-free twin of
+// Draw: same bytes, same consumption, same exhaustion and closed errors.
+func TestDrawIntoMatchesDraw(t *testing.T) {
+	material := make([]byte, 128)
+	for i := range material {
+		material[i] = byte(i*13 + 1)
+	}
+	a, b := New(), New()
+	a.Deposit(material)
+	b.Deposit(material)
+
+	dst := make([]byte, 48)
+	if err := a.DrawInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.Draw(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != string(want) {
+		t.Fatal("DrawInto bytes differ from Draw")
+	}
+	if a.Available() != b.Available() {
+		t.Fatalf("DrawInto consumed %d, Draw %d", 128-a.Available(), 128-b.Available())
+	}
+
+	big := make([]byte, 1024)
+	if err := a.DrawInto(big); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	if a.Available() != 128-48 {
+		t.Fatal("failed DrawInto consumed bytes")
+	}
+	a.Zeroize()
+	if err := a.DrawInto(dst); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestDrawIntoAllocs(t *testing.T) {
+	p := New()
+	p.Deposit(make([]byte, 1<<20))
+	dst := make([]byte, 64)
+	run := func() {
+		if err := p.DrawInto(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Errorf("DrawInto allocates %v times per run, want 0", n)
+	}
+}
+
+// TestDrawBatchMatchesSequentialDraws pins the combiner contract: a
+// batch of buffers is served exactly as the same requests issued as
+// sequential Draws — greedy FIFO, each independently all-or-nothing, so
+// a small request behind a too-large one still succeeds and the failed
+// one consumes nothing.
+func TestDrawBatchMatchesSequentialDraws(t *testing.T) {
+	material := make([]byte, 100)
+	for i := range material {
+		material[i] = byte(i + 1)
+	}
+	batch := New()
+	batch.Deposit(material)
+	seq := New()
+	seq.Deposit(material)
+
+	sizes := []int{32, 16, 80, 24, 40, 28}
+	dsts := make([][]byte, len(sizes))
+	for i, n := range sizes {
+		dsts[i] = make([]byte, n)
+	}
+	errs := make([]error, len(sizes))
+	served := batch.DrawBatch(dsts, errs)
+
+	wantServed := 0
+	for i, n := range sizes {
+		want, werr := seq.Draw(n)
+		if werr == nil {
+			wantServed++
+			if errs[i] != nil {
+				t.Fatalf("dst %d (%dB): batch failed (%v), sequential succeeded", i, n, errs[i])
+			}
+			if string(dsts[i]) != string(want) {
+				t.Fatalf("dst %d bytes differ from sequential draw", i)
+			}
+		} else if !errors.Is(errs[i], ErrExhausted) {
+			t.Fatalf("dst %d (%dB): batch err %v, sequential %v", i, n, errs[i], werr)
+		}
+	}
+	if served != wantServed {
+		t.Fatalf("served = %d, want %d", served, wantServed)
+	}
+	if batch.Available() != seq.Available() {
+		t.Fatalf("batch consumed %d, sequential %d", 100-batch.Available(), 100-seq.Available())
+	}
+}
+
+// TestDrawBatchSignalsOnce pins one low-water edge per batch.
+func TestDrawBatchSignalsOnce(t *testing.T) {
+	p := New()
+	p.SetLowWater(64)
+	ch := p.LowWaterSignal()
+	p.Deposit(make([]byte, 256))
+	dsts := [][]byte{make([]byte, 100), make([]byte, 100), make([]byte, 40)}
+	errs := make([]error, 3)
+	if served := p.DrawBatch(dsts, errs); served != 3 {
+		t.Fatalf("served = %d, want 3 (%v)", served, errs)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("batch crossing the watermark did not signal")
+	}
+	select {
+	case <-ch:
+		t.Fatal("batch signaled more than once")
+	default:
+	}
+	if hits := p.Stats().LowWaterHits; hits != 1 {
+		t.Fatalf("LowWaterHits = %d, want 1", hits)
+	}
+}
+
+// TestDrawBatchClosed: every entry reports ErrClosed, none served.
+func TestDrawBatchClosed(t *testing.T) {
+	p := New()
+	p.Deposit(make([]byte, 64))
+	p.Zeroize()
+	dsts := [][]byte{make([]byte, 8), make([]byte, 8)}
+	errs := make([]error, 2)
+	if served := p.DrawBatch(dsts, errs); served != 0 {
+		t.Fatalf("served = %d on closed pool", served)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("errs[%d] = %v, want ErrClosed", i, err)
+		}
+	}
+}
+
+// TestDrawBatchAllocs gates the combiner's served path to zero
+// allocations — the point of carving caller buffers before batching.
+func TestDrawBatchAllocs(t *testing.T) {
+	p := New()
+	p.Deposit(make([]byte, 1<<20))
+	dsts := make([][]byte, 16)
+	for i := range dsts {
+		dsts[i] = make([]byte, 32)
+	}
+	errs := make([]error, 16)
+	run := func() {
+		if served := p.DrawBatch(dsts, errs); served != 16 {
+			t.Fatal("batch not fully served")
+		}
+	}
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Errorf("DrawBatch allocates %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Draw batching: concurrent Draw/DrawN/DrawBulk calls against one
+// session coalesce into ONE pool operation per combiner cycle — one lock
+// acquisition, one bulk copy, per-caller slices carved out of the same
+// pass — instead of every caller queueing on the pool mutex. The shape
+// is flat combining with leadership handoff:
+//
+//   - The first caller to arrive becomes the LEADER. It serves one
+//     cycle: its own request plus everything parked in the queue at that
+//     moment, via keypool.DrawBatch.
+//   - Callers arriving while a leader is serving PARK on a per-request
+//     channel; the leader fills their buffers and sets their verdicts.
+//   - After its cycle the leader does not loop: if new waiters arrived
+//     mid-cycle it PROMOTES the queue head, which wakes as the next
+//     leader and serves its own request plus the rest. Leader latency is
+//     therefore bounded at one cycle — no caller serves strangers
+//     forever under sustained load — and the combiner degrades to plain
+//     per-call pool draws when a session has a single caller.
+//
+// Batching is invisible to semantics: DrawBatch serves FIFO with each
+// buffer independently all-or-nothing against the remaining material,
+// exactly what the same callers would have seen issuing sequential
+// draws. All three transports (daemon HTTP, cluster /ctl, gate frames)
+// funnel into Session.Draw/DrawInto, so they all combine here.
+
+// drawReq is one parked caller in a session's draw combiner.
+type drawReq struct {
+	dst      []byte
+	err      error
+	promoted bool
+	done     chan struct{} // 1-buffered; reused across parks via reqPool
+}
+
+// reqPool recycles parked-request frames (and, crucially, their wake
+// channels) so the contended draw path settles into zero steady-state
+// allocations alongside the uncontended one.
+var reqPool = sync.Pool{New: func() any { return &drawReq{done: make(chan struct{}, 1)} }}
+
+// Draw dispenses n bytes of one-time key material. It never runs
+// protocol rounds inline: a short pool fails fast with
+// keypool.ErrExhausted while the background refresher catches up.
+// Concurrent draws on the same session coalesce into one pool operation
+// per combiner cycle.
+func (s *Session) Draw(n int) ([]byte, error) {
+	if n < 0 {
+		return s.pool.Draw(n) // surfaces the pool's negative-draw error
+	}
+	out := make([]byte, n)
+	if err := s.DrawInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DrawBulk dispenses n bytes in one pool operation — the bulk-read
+// fallback for sessions without a keystream. All-or-nothing like Draw: a
+// short pool fails without consuming anything (a partial draw would
+// discard irreplaceable key material). Consumers wanting per-key slices
+// use keypool.DrawN directly.
+func (s *Session) DrawBulk(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("service: negative bulk draw %d", n)
+	}
+	return s.Draw(n)
+}
+
+// DrawInto fills dst from the session's pool through the draw combiner —
+// the allocation-free draw path (callers own dst). All-or-nothing: on
+// error dst is untouched and nothing is consumed.
+//
+// Combining is adaptive: while the pool mutex is free each caller serves
+// itself directly (no combiner overhead on an uncontended session); the
+// moment the probe finds the lock held, callers fall into the combiner
+// and coalesce behind whoever holds it.
+func (s *Session) DrawInto(dst []byte) error {
+	// No histogram observation here: the batch-size distribution tracks
+	// combiner cycles, and an uncontended direct draw never entered one.
+	if handled, err := s.pool.TryDrawInto(dst); handled {
+		return err
+	}
+	s.batMu.Lock()
+	if !s.batLead {
+		// No cycle in flight: become the leader and serve.
+		s.batLead = true
+		s.batMu.Unlock()
+		return s.lead(dst)
+	}
+	// A leader is serving. Park; it either fills dst and delivers the
+	// verdict, or promotes us to run the next cycle ourselves.
+	req := reqPool.Get().(*drawReq)
+	req.dst, req.err, req.promoted = dst, nil, false
+	s.batQ = append(s.batQ, req)
+	s.batMu.Unlock()
+	<-req.done
+	promoted, err := req.promoted, req.err
+	req.dst, req.err = nil, nil
+	reqPool.Put(req)
+	if promoted {
+		return s.lead(dst)
+	}
+	return err
+}
+
+// lead runs one combiner cycle: drain the parked queue, serve it plus
+// our own dst in a single pool operation, hand leadership off. Exactly
+// one goroutine leads at a time, so the s.bat* scratch slices below are
+// leader-owned without further locking.
+func (s *Session) lead(dst []byte) error {
+	s.batMu.Lock()
+	if len(s.batQ) == 0 {
+		// Solo cycle — the common case for a lightly shared session: skip
+		// the batch assembly entirely and serve straight off the pool, so
+		// the combiner costs a session with one caller almost nothing.
+		s.batMu.Unlock()
+		err := s.pool.DrawInto(dst)
+		if s.svc != nil && s.svc.obs.Enabled() {
+			s.svc.batchSize.Observe(1)
+		}
+		s.batMu.Lock()
+		if len(s.batQ) > 0 {
+			next := s.batQ[0]
+			copy(s.batQ, s.batQ[1:])
+			s.batQ[len(s.batQ)-1] = nil
+			s.batQ = s.batQ[:len(s.batQ)-1]
+			next.promoted = true
+			next.done <- struct{}{}
+		} else {
+			s.batLead = false
+		}
+		s.batMu.Unlock()
+		return err
+	}
+	reqs := append(s.batReqs[:0], s.batQ...)
+	for i := range s.batQ {
+		s.batQ[i] = nil
+	}
+	s.batQ = s.batQ[:0]
+	s.batMu.Unlock()
+
+	dsts := append(s.batDsts[:0], dst)
+	errs := append(s.batErrs[:0], nil)
+	for _, r := range reqs {
+		dsts = append(dsts, r.dst)
+		errs = append(errs, nil)
+	}
+	s.pool.DrawBatch(dsts, errs)
+	if s.svc != nil && s.svc.obs.Enabled() {
+		s.svc.batchSize.Observe(float64(len(dsts)))
+	}
+	err := errs[0]
+	for i, r := range reqs {
+		r.err = errs[i+1]
+	}
+	for i := range dsts {
+		dsts[i] = nil
+	}
+	for i := range errs {
+		errs[i] = nil
+	}
+	for i, r := range reqs {
+		reqs[i] = nil
+		r.done <- struct{}{}
+	}
+
+	// Restore the leader-owned scratch BEFORE the handoff below: the
+	// moment a successor is promoted it may enter lead() and read these
+	// fields, so this write must be the outgoing leader's last.
+	s.batDsts, s.batErrs, s.batReqs = dsts[:0], errs[:0], reqs[:0]
+
+	// Leadership handoff is the final act: if callers parked during our
+	// cycle, promote the queue head as the next leader (bounding every
+	// leader to one cycle); otherwise release leadership.
+	s.batMu.Lock()
+	if len(s.batQ) > 0 {
+		next := s.batQ[0]
+		copy(s.batQ, s.batQ[1:])
+		s.batQ[len(s.batQ)-1] = nil
+		s.batQ = s.batQ[:len(s.batQ)-1]
+		next.promoted = true
+		next.done <- struct{}{}
+	} else {
+		s.batLead = false
+	}
+	s.batMu.Unlock()
+	return err
+}

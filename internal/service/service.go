@@ -5,18 +5,25 @@
 // by re-entering the engine whenever draws push the pool below its
 // watermark.
 //
-// The Service owns admission control (a bounded runner pool in the
-// internal/sweep worker idiom: a fixed set of runner goroutines claiming
-// queued sessions), lifecycle (create / close / drain), and telemetry
-// (per-session rounds, secret bytes, pool depth, Eve-bound estimates)
-// exposed over HTTP by Handler. cmd/thinaird is the CLI front end.
+// The Service owns admission control, lifecycle (create / close /
+// drain), and telemetry (per-session rounds, secret bytes, pool depth,
+// Eve-bound estimates) exposed over HTTP by Handler. Sessions are
+// partitioned across shards (id → shard by hash): each shard runs one
+// dispatch goroutine feeding on-demand executors over a channel handoff
+// and owns the pinned scratch arenas its sessions' engine batches run
+// on, while a global token semaphore bounds total running sessions.
+// Concurrent draws against one session coalesce in a per-session
+// combiner (batch.go) into single pool operations. cmd/thinaird is the
+// CLI front end.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,12 +50,18 @@ var ErrFailed = errors.New("service: session failed")
 
 // Config parameterizes the daemon.
 type Config struct {
-	// MaxSessions bounds the number of concurrently RUNNING sessions —
-	// the size of the runner pool. 0 means 64.
+	// MaxSessions bounds the number of concurrently RUNNING sessions
+	// across all shards (the size of the global token semaphore).
+	// 0 means 64.
 	MaxSessions int
 	// MaxQueued bounds sessions admitted but waiting for a runner slot;
 	// beyond it Create fails fast with ErrSaturated. 0 means MaxSessions.
 	MaxQueued int
+	// Shards is the number of session partitions, each with its own
+	// dispatch goroutine, work queue, and pinned scratch arenas. Sessions
+	// hash to a shard by id and never migrate. 0 means GOMAXPROCS,
+	// capped at MaxSessions.
+	Shards int
 	// DrainTimeout is how long a closing session may spend finishing its
 	// in-flight refresh batch before being cancelled hard. 0 means 10s.
 	DrainTimeout time.Duration
@@ -82,6 +95,12 @@ func (c *Config) fill() {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > c.MaxSessions {
+		c.Shards = c.MaxSessions
+	}
 }
 
 // Service is the multi-session key-agreement daemon.
@@ -89,14 +108,24 @@ type Service struct {
 	cfg   Config
 	start time.Time
 
-	mu       sync.Mutex
-	notEmpty *sync.Cond // signaled when pending gains a session or closed flips
+	mu       sync.Mutex // registry lock: sessions map, nextID, closed
 	sessions map[uint32]*Session
-	pending  []*Session // FIFO of sessions waiting for a runner slot
 	nextID   uint32
 	closed   bool
 
-	wg sync.WaitGroup // runner goroutines
+	// shards partition the sessions: each owns a work queue, a dispatch
+	// goroutine, on-demand executors, and pinned scratch arenas. Nothing
+	// on the dispatch or draw hot paths touches sv.mu.
+	shards []*shard
+	// tokens is the global running-session semaphore: a dispatcher takes
+	// one token per session before handing it to an executor, the
+	// executor returns it when the session ends. Shards therefore share
+	// one MaxSessions budget — a hash-skewed load grows one shard's
+	// executor set instead of starving behind a fixed per-shard split.
+	tokens chan struct{}
+	stopc  chan struct{} // closed at the end of Shutdown; parks exit
+
+	wg sync.WaitGroup // dispatcher + executor goroutines
 
 	created  atomic.Int64
 	rejected atomic.Int64
@@ -117,10 +146,17 @@ type Service struct {
 	// the per-request cost is one enabled-check plus one Observe.
 	drawOK, drawErr     *obs.Histogram
 	streamOK, streamErr *obs.Histogram
+	// batchSize records how many concurrent draws each combiner cycle
+	// coalesced into one pool operation (see batch.go).
+	batchSize *obs.Histogram
 }
 
-// New starts a daemon with cfg.MaxSessions runner goroutines. Call
-// Shutdown to stop it.
+// batchBuckets bound the draw-batch-size histogram: powers of two up to
+// far beyond any realistic concurrent-caller count per session.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// New starts a daemon with cfg.Shards dispatch shards sharing a
+// cfg.MaxSessions running budget. Call Shutdown to stop it.
 func New(cfg Config) *Service {
 	cfg.fill()
 	cfg.fillObs()
@@ -129,8 +165,13 @@ func New(cfg Config) *Service {
 		start:    time.Now(),
 		sessions: make(map[uint32]*Session),
 		nextID:   1,
+		stopc:    make(chan struct{}),
+		tokens:   make(chan struct{}, cfg.MaxSessions),
 		obs:      cfg.Obs,
 		spans:    cfg.Spans,
+	}
+	for i := 0; i < cfg.MaxSessions; i++ {
+		sv.tokens <- struct{}{}
 	}
 	drawLat := sv.obs.HistogramVec("thinaird_draw_seconds",
 		"HTTP draw handler latency, by outcome.", obs.LatencyBuckets, "outcome")
@@ -140,42 +181,45 @@ func New(cfg Config) *Service {
 	sv.drawErr = drawLat.With("error")
 	sv.streamOK = streamLat.With("ok")
 	sv.streamErr = streamLat.With("error")
-	sv.notEmpty = sync.NewCond(&sv.mu)
-	sv.wg.Add(cfg.MaxSessions)
-	for i := 0; i < cfg.MaxSessions; i++ {
-		go sv.runner()
+	sv.batchSize = sv.obs.Histogram("thinaird_draw_batch_size",
+		"Concurrent draws coalesced into one pool operation per combiner cycle.",
+		batchBuckets)
+	depthVec := sv.obs.GaugeVec("thinaird_shard_queue_depth",
+		"Sessions waiting in each shard's dispatch queue.", "shard")
+	sv.shards = make([]*shard, cfg.Shards)
+	sv.wg.Add(cfg.Shards)
+	for i := range sv.shards {
+		label := strconv.Itoa(i)
+		sv.shards[i] = newShard(sv, i, label, depthVec.With(label))
+		go sv.shards[i].dispatch()
 	}
 	return sv
 }
 
-// runner claims queued sessions one at a time — the sweep worker-pool
-// idiom with sessions as jobs. A claimed session occupies the runner for
-// its whole life, which is exactly what bounds concurrent sessions.
-func (sv *Service) runner() {
-	defer sv.wg.Done()
-	for {
-		sv.mu.Lock()
-		for len(sv.pending) == 0 && !sv.closed {
-			sv.notEmpty.Wait()
-		}
-		if len(sv.pending) == 0 {
-			sv.mu.Unlock()
-			return // shutting down and nothing left to claim
-		}
-		s := sv.pending[0]
-		sv.pending = sv.pending[1:]
-		sv.mu.Unlock()
-		// The claim is a state CAS so a session closed while still queued
-		// is skipped instead of spun up and immediately torn down.
-		if s.state.CompareAndSwap(int32(StateQueued), int32(StateRunning)) {
-			s.run()
-			if s.State() == StateFailed {
-				sv.failed.Add(1)
-				sv.noteFailed(s.ID)
-			}
-			sv.forget(s.ID)
-		}
+// shardOf maps a session id to its owning shard. The hash is a fixed
+// integer mix (not the identity) so dense sequential ids spread instead
+// of striding, and it is a pure function of the id — the same session
+// lands on the same shard on every lookup and every restart.
+func (sv *Service) shardOf(id uint32) int {
+	x := id
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return int(x % uint32(len(sv.shards)))
+}
+
+// wakeCount sums executor wake events across shards. Each dispatched
+// session wakes exactly one executor (the handoff is an unbuffered
+// channel send), so this equals sessions dispatched — the property the
+// thundering-herd regression test pins.
+func (sv *Service) wakeCount() int64 {
+	var n int64
+	for _, sh := range sv.shards {
+		n += sh.wakes.Load()
 	}
+	return n
 }
 
 // forget drops a finished session from the registry (idempotent — the
@@ -189,29 +233,17 @@ func (sv *Service) forget(id uint32) {
 	sv.mu.Unlock()
 }
 
-// dropPending removes a closed-while-queued session from the FIFO so it
-// cannot occupy a queue slot it no longer needs.
-func (sv *Service) dropPending(s *Session) {
-	sv.mu.Lock()
-	for i, p := range sv.pending {
-		if p == s {
-			sv.pending = append(sv.pending[:i], sv.pending[i+1:]...)
-			break
-		}
-	}
-	sv.mu.Unlock()
-}
-
 // Create admits a new session. It returns immediately; the session starts
-// when a runner slot frees up (WaitReady blocks until its pool has key
-// material). Create fails fast with ErrSaturated when the queue is full.
+// when its shard dispatches it to an executor and a running token frees
+// up (WaitReady blocks until its pool has key material). Create fails
+// fast with ErrSaturated when the queue is full.
 func (sv *Service) Create(spec SessionSpec) (*Session, error) {
 	if err := spec.fill(); err != nil {
 		return nil, err
 	}
 	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	if sv.closed {
+		sv.mu.Unlock()
 		return nil, ErrShutdown
 	}
 	// Admission is counted against live sessions (queued or running):
@@ -225,16 +257,18 @@ func (sv *Service) Create(spec SessionSpec) (*Session, error) {
 	}
 	if live >= sv.cfg.MaxSessions+sv.cfg.MaxQueued {
 		sv.rejected.Add(1)
+		sv.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d live, %d running + %d queued allowed",
 			ErrSaturated, live, sv.cfg.MaxSessions, sv.cfg.MaxQueued)
 	}
 	id := sv.nextID
 	s := newSession(sv, id, spec)
-	sv.pending = append(sv.pending, s)
+	s.shard = sv.shards[sv.shardOf(id)]
 	sv.nextID++
 	sv.sessions[id] = s
 	sv.created.Add(1)
-	sv.notEmpty.Signal()
+	sv.mu.Unlock()
+	s.shard.enqueue(s)
 	return s, nil
 }
 
@@ -317,8 +351,8 @@ func (sv *Service) Close(id uint32) error {
 
 // Shutdown stops the daemon: no new sessions are admitted, every session
 // is asked to drain its in-flight refresh batch, and once ctx expires any
-// stragglers are cancelled hard. All runner goroutines have exited and
-// all pools are zeroized when Shutdown returns.
+// stragglers are cancelled hard. All dispatcher and executor goroutines
+// have exited and all pools are zeroized when Shutdown returns.
 func (sv *Service) Shutdown(ctx context.Context) error {
 	sv.mu.Lock()
 	if sv.closed {
@@ -331,7 +365,6 @@ func (sv *Service) Shutdown(ctx context.Context) error {
 	for _, s := range sv.sessions {
 		sessions = append(sessions, s)
 	}
-	sv.notEmpty.Broadcast() // idle runners exit; busy ones exit with their session
 	sv.mu.Unlock()
 
 	for _, s := range sessions {
@@ -354,6 +387,10 @@ func (sv *Service) Shutdown(ctx context.Context) error {
 		}
 		<-drained
 	}
+	// Every session is down; release the parked dispatchers and
+	// executors. Closing stopc only after the drain keeps executors
+	// alive while their sessions finish.
+	close(sv.stopc)
 	sv.wg.Wait()
 	return err
 }

@@ -176,6 +176,23 @@ type Session struct {
 
 	svc  *Service
 	pool *keypool.Pool
+	// shard is the partition this session hashes to (assigned at Create,
+	// never migrates); arena is the shard-owned scratch checked out by
+	// the executor for the session's whole run (engine round scratch,
+	// stream block buffer). arena is touched only by the executor
+	// goroutine between checkout and return.
+	shard *shard
+	arena *sessionArena
+
+	// Draw combiner state (batch.go): batMu guards the waiter queue and
+	// the leadership flag; the leader-owned scratch slices are
+	// serialized by leadership itself (exactly one leader at a time).
+	batMu   sync.Mutex
+	batQ    []*drawReq
+	batLead bool
+	batDsts [][]byte
+	batErrs []error
+	batReqs []*drawReq
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -242,11 +259,6 @@ func (s *Session) State() State { return State(s.state.Load()) }
 // never-reused key material from it.
 func (s *Session) Pool() *keypool.Pool { return s.pool }
 
-// Draw dispenses n bytes of one-time key material. It never runs protocol
-// rounds inline: a short pool fails fast with keypool.ErrExhausted while
-// the background refresher catches up.
-func (s *Session) Draw(n int) ([]byte, error) { return s.pool.Draw(n) }
-
 // ErrNoStream marks a session without a random-access keystream (UDP,
 // observed or authenticated sessions use the lockstep refresh engine;
 // their key material is pool-draw only).
@@ -279,20 +291,6 @@ func (s *Session) StreamRange(off, n int64) (io.Reader, error) {
 		return nil, keystream.ErrClosed
 	}
 	return str.RangeReader(off, n), nil
-}
-
-// DrawBulk dispenses n bytes through the pool's single-lock bulk path —
-// the fallback for bulk reads on sessions without a keystream, replacing
-// what used to be n/PayloadBytes individual lock round-trips. The draw is
-// one pool operation, so it is all-or-nothing: a short pool fails without
-// consuming anything (a partial draw would discard irreplaceable key
-// material). Like Draw, success consumes: the returned bytes leave the
-// pool. Consumers wanting per-key slices use keypool.DrawN directly.
-func (s *Session) DrawBulk(n int) ([]byte, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("service: negative bulk draw %d", n)
-	}
-	return s.pool.Draw(n)
 }
 
 func zeroBytes(b []byte) {
@@ -349,7 +347,7 @@ func (s *Session) closeNow() {
 	}
 	s.snapMu.Unlock()
 	if queued {
-		s.svc.dropPending(s)
+		s.shard.dropPending(s)
 		s.svc.forget(s.ID)
 		close(s.done)
 		return
@@ -530,7 +528,12 @@ func (s *Session) runStream() {
 
 	s.pool.SetLowWater(s.spec.LowWater)
 	low := s.pool.LowWaterSignal()
-	buf := make([]byte, str.BlockSize())
+	var buf []byte
+	if s.arena != nil {
+		buf = s.arena.bytes(str.BlockSize())
+	} else {
+		buf = make([]byte, str.BlockSize())
+	}
 	consecFail := 0
 	for {
 		for s.pool.Available() < s.spec.TargetDepth {
@@ -604,6 +607,9 @@ func (s *Session) refresh(eps []transport.Endpoint, chains []*auth.KeyChain) err
 		Session:    s.ID,
 		Timeout:    s.spec.Timeout,
 		FirstRound: first,
+	}
+	if s.arena != nil {
+		cfg.Scratches = s.arena.scratchesFor(s.spec.Terminals)
 	}
 	s.refreshes.Add(1)
 	results, err := transport.RunGroupOn(s.ctx, eps, cfg, chains)

@@ -36,6 +36,12 @@ type NodeConfig struct {
 	// filtered by the ordinary round check. Round numbers live in a uint16
 	// on the wire, so FirstRound+Rounds must stay <= 65536.
 	FirstRound int
+	// Scratches, when non-nil, supplies caller-pinned round scratch for
+	// each terminal: RunNode with Self=i reuses Scratches[i] instead of a
+	// per-call zero scratch, so a daemon re-entering the engine batch
+	// after batch keeps its decode buffers warm across batches. Entries
+	// must not be shared between concurrently running nodes.
+	Scratches []*core.RoundScratch
 }
 
 // NodeResult is what one node took away from a session.
@@ -71,6 +77,11 @@ func RunNode(ctx context.Context, ep Endpoint, cfg NodeConfig) (*NodeResult, err
 			cfg.FirstRound, cfg.FirstRound+cfg.Rounds-1)
 	}
 	n := &node{cfg: cfg, ep: ep, res: &NodeResult{}}
+	if cfg.Scratches != nil && cfg.Self < len(cfg.Scratches) && cfg.Scratches[cfg.Self] != nil {
+		n.scratch = cfg.Scratches[cfg.Self]
+	} else {
+		n.scratch = new(core.RoundScratch)
+	}
 	// The distributed runtime shares the in-process engine's round-timing
 	// family: a worker's rounds land in the same fleet histogram whether
 	// the session runs lockstep or over a bus. Resolved once per call;
@@ -113,9 +124,10 @@ type node struct {
 	res     *NodeResult
 	backlog []Env
 	// scratch carries the terminal-side round buffers across the session's
-	// rounds, so a long-lived daemon node combines packets without
-	// per-round allocation churn.
-	scratch core.RoundScratch
+	// rounds (and, when pinned via NodeConfig.Scratches, across batches),
+	// so a long-lived daemon node combines packets without per-round
+	// allocation churn.
+	scratch *core.RoundScratch
 }
 
 func (n *node) header(round int) wire.Header {
@@ -366,7 +378,7 @@ func (n *node) terminalRound(ctx context.Context, round, leader int) error {
 		zs = append(zs, msg.(*wire.ZPacket))
 	}
 
-	secretRows, err := core.ComputeTerminalSecretInto(&n.scratch, xPayloads, ya, zs, sa)
+	secretRows, err := core.ComputeTerminalSecretInto(n.scratch, xPayloads, ya, zs, sa)
 	if err != nil {
 		return err
 	}
@@ -436,6 +448,12 @@ func RunGroupOn(ctx context.Context, eps []Endpoint, cfg NodeConfig, chains []*a
 		res *NodeResult
 		err error
 	}
+	// A failing node cancels its peers, and EVERY node is drained before
+	// returning: the caller re-enters this function on the same endpoints
+	// (and pinned scratches) for the next batch, so no straggler goroutine
+	// may still be touching them after an error return.
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	ch := make(chan outcome, cfg.Terminals)
 	for i := 0; i < cfg.Terminals; i++ {
 		nc := cfg
@@ -444,17 +462,25 @@ func RunGroupOn(ctx context.Context, eps []Endpoint, cfg NodeConfig, chains []*a
 			nc.Chain = chains[i]
 		}
 		go func(idx int, ep Endpoint, nc NodeConfig) {
-			res, err := RunNode(ctx, ep, nc)
+			res, err := RunNode(gctx, ep, nc)
 			ch <- outcome{idx: idx, res: res, err: err}
 		}(i, eps[i], nc)
 	}
 	results := make([]*NodeResult, cfg.Terminals)
+	var firstErr error
 	for i := 0; i < cfg.Terminals; i++ {
 		o := <-ch
 		if o.err != nil {
-			return nil, o.err
+			if firstErr == nil {
+				firstErr = o.err
+				cancel()
+			}
+			continue
 		}
 		results[o.idx] = o.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	for i := 1; i < cfg.Terminals; i++ {
 		if string(results[i].Secret) != string(results[0].Secret) {
